@@ -1,0 +1,256 @@
+//! The tar-like entry container.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic            "RAIAR1\0"           8 bytes
+//! entry count      u32
+//! per entry:
+//!   path length    u16
+//!   path bytes     UTF-8, normalized
+//!   kind           u8  (0 = regular file)
+//!   data length    u64
+//!   data bytes
+//!   checksum       u64 FNV-1a over (path bytes ++ data bytes)
+//! trailer checksum u64 FNV-1a over everything before it
+//! ```
+
+use crate::fnv::Fnv1a;
+use crate::tree::{normalize, FileTree};
+use bytes::Bytes;
+
+const MAGIC: &[u8; 8] = b"RAIAR1\0\0";
+
+/// Entry kind. Only regular files exist today; the discriminant is kept
+/// explicit so that the format can grow (symlinks, exec bits) without a
+/// magic bump.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EntryKind {
+    /// A regular file.
+    Regular = 0,
+}
+
+/// One archived file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Entry {
+    /// Normalized relative path.
+    pub path: String,
+    /// Entry kind.
+    pub kind: EntryKind,
+    /// File contents.
+    pub data: Bytes,
+}
+
+/// Error reading or writing an archive.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArchiveError {
+    /// Wrong magic bytes.
+    BadMagic,
+    /// Stream ended early.
+    Truncated,
+    /// Entry path was not valid UTF-8 or not a normalized relative path.
+    BadPath,
+    /// Unknown entry kind byte.
+    BadKind(u8),
+    /// A per-entry or trailer checksum mismatched.
+    ChecksumMismatch { context: &'static str },
+    /// Two entries shared a path.
+    DuplicatePath(String),
+    /// Decompression failed (propagated by the bundle layer).
+    Compression(crate::lzss::LzssError),
+}
+
+impl std::fmt::Display for ArchiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArchiveError::BadMagic => write!(f, "archive: bad magic"),
+            ArchiveError::Truncated => write!(f, "archive: truncated"),
+            ArchiveError::BadPath => write!(f, "archive: invalid entry path"),
+            ArchiveError::BadKind(k) => write!(f, "archive: unknown entry kind {k}"),
+            ArchiveError::ChecksumMismatch { context } => {
+                write!(f, "archive: checksum mismatch ({context})")
+            }
+            ArchiveError::DuplicatePath(p) => write!(f, "archive: duplicate path {p:?}"),
+            ArchiveError::Compression(e) => write!(f, "archive: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ArchiveError {}
+
+impl From<crate::lzss::LzssError> for ArchiveError {
+    fn from(e: crate::lzss::LzssError) -> Self {
+        ArchiveError::Compression(e)
+    }
+}
+
+/// Serialize a [`FileTree`] into the container format (uncompressed).
+pub fn write_container(tree: &FileTree) -> Vec<u8> {
+    let mut out = Vec::with_capacity(tree.total_size() as usize + 64 * tree.len() + 32);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(tree.len() as u32).to_le_bytes());
+    for (path, data) in tree.iter() {
+        out.extend_from_slice(&(path.len() as u16).to_le_bytes());
+        out.extend_from_slice(path.as_bytes());
+        out.push(EntryKind::Regular as u8);
+        out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+        out.extend_from_slice(data);
+        let mut h = Fnv1a::new();
+        h.update(path.as_bytes()).update(data);
+        out.extend_from_slice(&h.digest().to_le_bytes());
+    }
+    let mut trailer = Fnv1a::new();
+    trailer.update(&out);
+    out.extend_from_slice(&trailer.digest().to_le_bytes());
+    out
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ArchiveError> {
+        if self.pos + n > self.buf.len() {
+            return Err(ArchiveError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u16(&mut self) -> Result<u16, ArchiveError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, ArchiveError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, ArchiveError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+}
+
+/// Deserialize a container back into a [`FileTree`], verifying every
+/// checksum.
+pub fn read_container(buf: &[u8]) -> Result<FileTree, ArchiveError> {
+    // Verify the trailer first: cheap whole-archive integrity.
+    if buf.len() < MAGIC.len() + 4 + 8 {
+        return Err(ArchiveError::Truncated);
+    }
+    let (body, trailer_bytes) = buf.split_at(buf.len() - 8);
+    let mut trailer = Fnv1a::new();
+    trailer.update(body);
+    if trailer.digest().to_le_bytes() != trailer_bytes {
+        return Err(ArchiveError::ChecksumMismatch { context: "trailer" });
+    }
+
+    let mut r = Reader { buf: body, pos: 0 };
+    if r.take(MAGIC.len())? != MAGIC {
+        return Err(ArchiveError::BadMagic);
+    }
+    let count = r.u32()?;
+    let mut tree = FileTree::new();
+    for _ in 0..count {
+        let path_len = r.u16()? as usize;
+        let path_bytes = r.take(path_len)?;
+        let path = std::str::from_utf8(path_bytes).map_err(|_| ArchiveError::BadPath)?;
+        let norm = normalize(path).map_err(|_| ArchiveError::BadPath)?;
+        if norm != path {
+            return Err(ArchiveError::BadPath);
+        }
+        let kind = match r.take(1)?[0] {
+            0 => EntryKind::Regular,
+            other => return Err(ArchiveError::BadKind(other)),
+        };
+        let _ = kind;
+        let data_len = r.u64()? as usize;
+        let data = r.take(data_len)?;
+        let stored = r.u64()?;
+        let mut h = Fnv1a::new();
+        h.update(path_bytes).update(data);
+        if h.digest() != stored {
+            return Err(ArchiveError::ChecksumMismatch { context: "entry" });
+        }
+        if tree.contains(&norm) {
+            return Err(ArchiveError::DuplicatePath(norm));
+        }
+        tree.insert(&norm, data.to_vec()).map_err(|_| ArchiveError::BadPath)?;
+    }
+    if r.pos != body.len() {
+        // Trailing garbage between last entry and trailer.
+        return Err(ArchiveError::ChecksumMismatch { context: "length" });
+    }
+    Ok(tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tree() -> FileTree {
+        FileTree::new()
+            .with("rai-build.yml", &b"rai:\n  version: 0.1\n"[..])
+            .with("src/main.cu", &b"__global__ void k() {}\n"[..])
+            .with("report.pdf", &b"%PDF-1.4 fake"[..])
+    }
+
+    #[test]
+    fn round_trip() {
+        let t = sample_tree();
+        let bytes = write_container(&t);
+        let back = read_container(&bytes).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn empty_tree_round_trips() {
+        let t = FileTree::new();
+        assert_eq!(read_container(&write_container(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn detects_bit_flip_anywhere() {
+        let bytes = write_container(&sample_tree());
+        // Flip one bit in several positions across the archive.
+        for pos in [0, 9, 20, bytes.len() / 2, bytes.len() - 1] {
+            let mut corrupted = bytes.clone();
+            corrupted[pos] ^= 0x40;
+            assert!(
+                read_container(&corrupted).is_err(),
+                "bit flip at {pos} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let bytes = write_container(&sample_tree());
+        for cut in [4, bytes.len() / 2, bytes.len() - 1] {
+            assert!(read_container(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = write_container(&FileTree::new());
+        bytes[0] = b'X';
+        // Fix the trailer so only the magic is wrong.
+        let body_len = bytes.len() - 8;
+        let mut h = Fnv1a::new();
+        h.update(&bytes[..body_len]);
+        let digest = h.digest().to_le_bytes();
+        bytes[body_len..].copy_from_slice(&digest);
+        assert_eq!(read_container(&bytes), Err(ArchiveError::BadMagic));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ArchiveError::ChecksumMismatch { context: "entry" };
+        assert!(e.to_string().contains("checksum"));
+        assert!(ArchiveError::DuplicatePath("a".into()).to_string().contains("a"));
+    }
+}

@@ -1,0 +1,27 @@
+//! # rai-archive — project archives (the paper's `.tar.bz2` path)
+//!
+//! When a student submits a job, the RAI client "compresses the project
+//! directory into a `.tar.bz2` file and uploads it to the file server"
+//! (paper §V); the worker does the same for `/build` on the way back.
+//! This crate reproduces that path from scratch:
+//!
+//! * [`tree`] — [`FileTree`], the in-memory directory-tree model shared
+//!   by the client (project dir), the sandbox (mounted volumes) and the
+//!   grading tools (downloaded submissions).
+//! * [`fnv`] — FNV-1a hashing used for content checksums.
+//! * [`lzss`] — an LZ77-family compressor (LZSS: 4 KiB sliding window,
+//!   3–18 byte matches, 8-token flag bytes) standing in for bzip2.
+//! * [`container`] — the tar-like entry container with per-entry and
+//!   whole-archive checksums.
+//! * [`bundle`] — the top-level [`pack`]/[`unpack`] API: container +
+//!   compression in one call, like `tar cjf` / `tar xjf`.
+
+pub mod bundle;
+pub mod container;
+pub mod fnv;
+pub mod lzss;
+pub mod tree;
+
+pub use bundle::{pack, unpack, Bundle};
+pub use container::{ArchiveError, Entry, EntryKind};
+pub use tree::FileTree;

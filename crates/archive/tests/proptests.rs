@@ -1,0 +1,75 @@
+//! Property tests for the archive substrate: compression and container
+//! round-trips over arbitrary data, and corruption detection.
+
+use proptest::prelude::*;
+use rai_archive::lzss;
+use rai_archive::{pack, unpack, FileTree};
+
+fn arb_tree() -> impl Strategy<Value = FileTree> {
+    let path = proptest::string::string_regex("[a-z][a-z0-9_.]{0,8}(/[a-z][a-z0-9_.]{0,8}){0,3}")
+        .expect("valid regex");
+    let data = prop::collection::vec(any::<u8>(), 0..512);
+    prop::collection::vec((path, data), 0..12).prop_map(|files| {
+        let mut t = FileTree::new();
+        for (p, d) in files {
+            // Duplicates simply overwrite — fine for generation.
+            t.insert(&p, d).expect("generated path is valid");
+        }
+        t
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lzss_round_trips_arbitrary_bytes(data in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let c = lzss::compress(&data);
+        prop_assert_eq!(lzss::decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn lzss_round_trips_structured_text(
+        s in "[a-z /.:=-]{0,2048}",
+        reps in 1usize..6,
+    ) {
+        let data = s.repeat(reps).into_bytes();
+        let c = lzss::compress(&data);
+        prop_assert_eq!(lzss::decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn lzss_decompress_never_panics(garbage in prop::collection::vec(any::<u8>(), 0..1024)) {
+        let _ = lzss::decompress(&garbage);
+    }
+
+    #[test]
+    fn bundle_round_trips(tree in arb_tree()) {
+        let b = pack(&tree);
+        prop_assert_eq!(unpack(&b.bytes).unwrap(), tree);
+    }
+
+    #[test]
+    fn bundle_detects_single_bit_corruption(
+        tree in arb_tree(),
+        flip_seed in any::<u64>(),
+    ) {
+        let b = pack(&tree);
+        let pos = (flip_seed as usize) % b.bytes.len();
+        let bit = 1u8 << (flip_seed % 8);
+        let mut corrupted = b.bytes.clone();
+        corrupted[pos] ^= bit;
+        // Either the flip is detected, or (never) silently accepted as a
+        // *different* tree. Equal output is allowed only if the bytes are
+        // equal, which they are not.
+        match unpack(&corrupted) {
+            Err(_) => {}
+            Ok(t) => prop_assert_eq!(t, tree, "corruption silently changed content"),
+        }
+    }
+
+    #[test]
+    fn unpack_never_panics(garbage in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = unpack(&garbage);
+    }
+}

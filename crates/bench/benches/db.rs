@@ -1,0 +1,123 @@
+//! Document-database micro-benchmarks, including the index ablation
+//! called out in DESIGN.md: the ranking range query with and without a
+//! secondary index.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rai_db::{doc, Collection, FindOptions};
+
+fn seeded_collection(n: usize, indexed: bool) -> Collection {
+    let mut c = Collection::new();
+    for i in 0..n {
+        c.insert_one(doc! {
+            "team" => format!("team-{i:04}"),
+            "runtime_secs" => 0.3 + (i as f64 * 7.31) % 120.0,
+            "final" => i % 3 == 0,
+        });
+    }
+    if indexed {
+        c.create_index("runtime_secs");
+        c.create_index("team");
+    }
+    c
+}
+
+fn bench_insert(c: &mut Criterion) {
+    c.bench_function("db/insert_one", |b| {
+        let mut coll = Collection::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            coll.insert_one(doc! { "job_id" => i, "team" => "t", "secs" => 0.5 });
+        });
+    });
+}
+
+fn bench_query_index_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("db/range_query");
+    for &n in &[1_000usize, 10_000] {
+        for (label, indexed) in [("scan", false), ("indexed", true)] {
+            let coll = seeded_collection(n, indexed);
+            g.bench_with_input(
+                BenchmarkId::new(label, n),
+                &coll,
+                |b, coll| {
+                    b.iter(|| {
+                        let fast = coll.find(&doc! { "runtime_secs" => doc!{ "$lt" => 1.0 } });
+                        criterion::black_box(fast.len())
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_point_lookup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("db/point_lookup");
+    for (label, indexed) in [("scan", false), ("indexed", true)] {
+        let coll = seeded_collection(10_000, indexed);
+        g.bench_function(label, |b| {
+            b.iter(|| coll.find_one(&doc! { "team" => "team-7777" }).expect("exists"));
+        });
+    }
+    g.finish();
+}
+
+fn bench_leaderboard_sort(c: &mut Criterion) {
+    c.bench_function("db/leaderboard_sort_limit", |b| {
+        let coll = seeded_collection(5_000, true);
+        b.iter(|| {
+            let top = coll.find_with(&doc! {}, &FindOptions::sort_asc("runtime_secs").limit(30));
+            assert_eq!(top.len(), 30);
+        });
+    });
+}
+
+fn bench_ranking_upsert(c: &mut Criterion) {
+    c.bench_function("db/ranking_upsert_overwrite", |b| {
+        let mut coll = seeded_collection(1_000, true);
+        let mut secs = 1.0f64;
+        b.iter(|| {
+            secs *= 0.999;
+            coll.update_one(
+                &doc! { "team" => "team-0500" },
+                &doc! { "$set" => doc!{ "runtime_secs" => secs } },
+                true,
+            )
+        });
+    });
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    c.bench_function("db/aggregate_group_by_team", |b| {
+        let coll = seeded_collection(5_000, false);
+        use rai_db::aggregate::{aggregate, Accumulator, Stage};
+        b.iter(|| {
+            let rows = aggregate(
+                &coll,
+                &[
+                    Stage::Match(doc! { "final" => true }),
+                    Stage::Group {
+                        by: Some("final".into()),
+                        fields: vec![
+                            ("n".into(), Accumulator::Count),
+                            ("avg".into(), Accumulator::Avg("runtime_secs".into())),
+                        ],
+                    },
+                ],
+            );
+            criterion::black_box(rows.len())
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_insert,
+    bench_aggregation,
+    bench_query_index_ablation,
+    bench_point_lookup,
+    bench_leaderboard_sort,
+    bench_ranking_upsert
+);
+criterion_main!(benches);

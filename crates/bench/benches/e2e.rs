@@ -1,0 +1,46 @@
+//! End-to-end submission latency: the full client → store → broker →
+//! worker → container → database pipeline per job, the number that
+//! bounds how "interactive" the paper's response time can be.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rai_core::client::ProjectDir;
+use rai_core::{RaiSystem, SystemConfig};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2e");
+    g.sample_size(30);
+
+    g.bench_function("dev_run_submission", |b| {
+        let mut system = RaiSystem::new(SystemConfig {
+            rate_limit: None,
+            ..Default::default()
+        });
+        let creds = system.register_team("bench", &[]);
+        let project = ProjectDir::sample_cuda_project();
+        // Warm the image cache so steady-state cost is measured.
+        system.submit(&creds, &project).expect("warm-up");
+        b.iter(|| {
+            let receipt = system.submit(&creds, &project).expect("submission");
+            assert!(receipt.success);
+        });
+    });
+
+    g.bench_function("final_submission_with_ranking", |b| {
+        let mut system = RaiSystem::new(SystemConfig {
+            rate_limit: None,
+            ..Default::default()
+        });
+        let creds = system.register_team("bench", &[]);
+        let project = ProjectDir::sample_cuda_project().with_final_artifacts();
+        system.submit_final(&creds, &project).expect("warm-up");
+        b.iter(|| {
+            let receipt = system.submit_final(&creds, &project).expect("submission");
+            assert!(receipt.success);
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

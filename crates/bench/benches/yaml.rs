@@ -1,0 +1,46 @@
+//! Build-file parsing benchmarks: the Listing 1 file and a large
+//! student-authored variant.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rai_core::spec::{BuildSpec, DEFAULT_BUILD_YML};
+
+fn big_student_file() -> String {
+    let mut s = String::from("rai:\n  version: 0.1\n  image: webgpu/rai:root\nresources:\n  gpus: 1\ncommands:\n  build:\n");
+    for i in 0..200 {
+        s.push_str(&format!("    - echo step {i} of a very long experiment script\n"));
+    }
+    s
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("yaml/parse");
+    g.throughput(Throughput::Bytes(DEFAULT_BUILD_YML.len() as u64));
+    g.bench_function("listing1_default", |b| {
+        b.iter(|| rai_yaml::parse(DEFAULT_BUILD_YML).expect("valid"));
+    });
+    let big = big_student_file();
+    g.throughput(Throughput::Bytes(big.len() as u64));
+    g.bench_function("student_200_commands", |b| {
+        b.iter(|| rai_yaml::parse(&big).expect("valid"));
+    });
+    g.finish();
+}
+
+fn bench_spec_validation(c: &mut Criterion) {
+    c.bench_function("yaml/build_spec_parse_validate", |b| {
+        b.iter(|| BuildSpec::parse(DEFAULT_BUILD_YML).expect("valid"));
+    });
+}
+
+fn bench_emit(c: &mut Criterion) {
+    c.bench_function("yaml/emit_round_trip", |b| {
+        let doc = rai_yaml::parse(DEFAULT_BUILD_YML).expect("valid");
+        b.iter(|| {
+            let text = rai_yaml::to_string(&doc);
+            criterion::black_box(text.len())
+        });
+    });
+}
+
+criterion_group!(benches, bench_parse, bench_spec_validation, bench_emit);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Regenerates **Table I**: the qualitative feature comparison of
+//! existing programming/submission systems against RAI.
+//!
+//! ```text
+//! cargo run --release -p rai-bench --bin table1_features
+//! ```
+
+use rai_core::compare::{render_table1, table1, DIMENSIONS};
+
+fn main() {
+    rai_bench::header("Table I — existing programming and submission systems");
+    print!("{}", render_table1());
+
+    rai_bench::header("rationale (paper §III)");
+    for row in table1() {
+        println!("  {row}");
+    }
+
+    // Machine-checkable summary: RAI is the only full row.
+    let full: Vec<&str> = table1()
+        .iter()
+        .filter(|r| DIMENSIONS.iter().enumerate().all(|(i, _)| r.features[i]))
+        .map(|r| r.name)
+        .collect();
+    println!("\nsystems supporting all five dimensions: {full:?} (paper: [\"RAI\"])");
+    assert_eq!(full, vec!["RAI"]);
+}

@@ -1,0 +1,646 @@
+//! The broker proper: topic table, publish fan-out, subscriptions,
+//! ephemeral-topic garbage collection, and statistics.
+
+use crate::message::{Message, MessageId};
+use crate::queue::{ChannelState, RecvError};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Broker configuration.
+#[derive(Clone, Debug)]
+pub struct BrokerConfig {
+    /// Maximum ready-queue depth per channel; publishing beyond this
+    /// returns [`PublishError::ChannelFull`]. RAI uses this as crude
+    /// back-pressure so a melting-down worker fleet surfaces as client
+    /// errors instead of unbounded broker memory.
+    pub max_channel_depth: usize,
+    /// Maximum number of messages retained in a topic backlog while the
+    /// topic has no channels yet.
+    pub max_backlog: usize,
+}
+
+impl Default for BrokerConfig {
+    fn default() -> Self {
+        BrokerConfig {
+            max_channel_depth: 100_000,
+            max_backlog: 10_000,
+        }
+    }
+}
+
+/// Publish failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PublishError {
+    /// A channel of the topic is at `max_channel_depth`.
+    ChannelFull { topic: String, channel: String },
+    /// The topic's no-channel backlog is full.
+    BacklogFull { topic: String },
+}
+
+impl std::fmt::Display for PublishError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PublishError::ChannelFull { topic, channel } => {
+                write!(f, "channel {topic}/{channel} is full")
+            }
+            PublishError::BacklogFull { topic } => write!(f, "topic {topic} backlog is full"),
+        }
+    }
+}
+
+impl std::error::Error for PublishError {}
+
+struct TopicState {
+    name: String,
+    ephemeral: bool,
+    channels: Mutex<HashMap<String, Arc<ChannelState>>>,
+    /// Messages published before the first channel existed.
+    backlog: Mutex<VecDeque<Message>>,
+    published: AtomicU64,
+}
+
+struct BrokerInner {
+    config: BrokerConfig,
+    topics: Mutex<HashMap<String, Arc<TopicState>>>,
+    next_message_id: AtomicU64,
+    next_subscriber_id: AtomicU64,
+}
+
+/// The message broker. Cheap to clone; clones share state.
+#[derive(Clone)]
+pub struct Broker {
+    inner: Arc<BrokerInner>,
+}
+
+impl Default for Broker {
+    fn default() -> Self {
+        Self::new(BrokerConfig::default())
+    }
+}
+
+impl Broker {
+    /// Create a broker.
+    pub fn new(config: BrokerConfig) -> Self {
+        Broker {
+            inner: Arc::new(BrokerInner {
+                config,
+                topics: Mutex::new(HashMap::new()),
+                next_message_id: AtomicU64::new(1),
+                next_subscriber_id: AtomicU64::new(1),
+            }),
+        }
+    }
+
+    fn topic(&self, name: &str, ephemeral: bool) -> Arc<TopicState> {
+        let mut topics = self.inner.topics.lock();
+        topics
+            .entry(name.to_string())
+            .or_insert_with(|| {
+                Arc::new(TopicState {
+                    name: name.to_string(),
+                    ephemeral,
+                    channels: Mutex::new(HashMap::new()),
+                    backlog: Mutex::new(VecDeque::new()),
+                    published: AtomicU64::new(0),
+                })
+            })
+            .clone()
+    }
+
+    /// Publish to a durable topic (created on first use).
+    pub fn publish(&self, topic: &str, body: impl Into<Bytes>) -> Result<MessageId, PublishError> {
+        self.publish_inner(topic, body.into(), false)
+    }
+
+    /// Publish to an ephemeral topic (created on first use; garbage
+    /// collected once the last subscription drops). RAI's per-job
+    /// `log_${job_id}` topics use this.
+    pub fn publish_ephemeral(
+        &self,
+        topic: &str,
+        body: impl Into<Bytes>,
+    ) -> Result<MessageId, PublishError> {
+        self.publish_inner(topic, body.into(), true)
+    }
+
+    fn publish_inner(
+        &self,
+        topic: &str,
+        body: Bytes,
+        ephemeral: bool,
+    ) -> Result<MessageId, PublishError> {
+        let t = self.topic(topic, ephemeral);
+        let id = MessageId(self.inner.next_message_id.fetch_add(1, Ordering::Relaxed));
+        let msg = Message {
+            id,
+            body,
+            attempts: 0,
+        };
+        let channels = t.channels.lock();
+        if channels.is_empty() {
+            // Hold in the backlog until the first channel appears.
+            let mut backlog = t.backlog.lock();
+            if backlog.len() >= self.inner.config.max_backlog {
+                return Err(PublishError::BacklogFull {
+                    topic: topic.to_string(),
+                });
+            }
+            backlog.push_back(msg);
+        } else {
+            // NSQ semantics: every channel receives a copy.
+            for ch in channels.values() {
+                if ch.depth() >= self.inner.config.max_channel_depth {
+                    return Err(PublishError::ChannelFull {
+                        topic: topic.to_string(),
+                        channel: ch.name.clone(),
+                    });
+                }
+            }
+            for ch in channels.values() {
+                ch.enqueue(msg.clone());
+            }
+        }
+        t.published.fetch_add(1, Ordering::Relaxed);
+        Ok(id)
+    }
+
+    /// Subscribe to `topic/channel`, creating both as needed. Multiple
+    /// subscriptions on the same channel load-balance; subscriptions on
+    /// different channels of one topic each see every message.
+    pub fn subscribe(&self, topic: &str, channel: &str) -> Subscription {
+        self.subscribe_inner(topic, channel, false)
+    }
+
+    /// Subscribe to an ephemeral topic (see [`Broker::publish_ephemeral`]).
+    pub fn subscribe_ephemeral(&self, topic: &str, channel: &str) -> Subscription {
+        self.subscribe_inner(topic, channel, true)
+    }
+
+    fn subscribe_inner(&self, topic: &str, channel: &str, ephemeral: bool) -> Subscription {
+        let t = self.topic(topic, ephemeral);
+        let ch = {
+            let mut channels = t.channels.lock();
+            let is_new_first_channel = channels.is_empty();
+            let ch = channels
+                .entry(channel.to_string())
+                .or_insert_with(|| Arc::new(ChannelState::new(channel)))
+                .clone();
+            if is_new_first_channel {
+                // Drain the topic backlog into the first channel.
+                let mut backlog = t.backlog.lock();
+                while let Some(m) = backlog.pop_front() {
+                    ch.enqueue(m);
+                }
+            }
+            ch
+        };
+        ch.subscribers.fetch_add(1, Ordering::SeqCst);
+        let id = self.inner.next_subscriber_id.fetch_add(1, Ordering::Relaxed);
+        Subscription {
+            broker: self.inner.clone(),
+            topic: t,
+            channel: ch,
+            subscriber_id: id,
+        }
+    }
+
+    /// Delete a topic outright, closing all its channels.
+    pub fn delete_topic(&self, name: &str) -> bool {
+        let Some(t) = self.inner.topics.lock().remove(name) else {
+            return false;
+        };
+        for ch in t.channels.lock().values() {
+            ch.close();
+        }
+        true
+    }
+
+    /// Names of live topics.
+    pub fn topic_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.topics.lock().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Whether a topic currently exists.
+    pub fn has_topic(&self, name: &str) -> bool {
+        self.inner.topics.lock().contains_key(name)
+    }
+
+    /// Per-topic statistics snapshot.
+    pub fn topic_stats(&self, name: &str) -> Option<TopicStats> {
+        let t = self.inner.topics.lock().get(name)?.clone();
+        let mut depth = 0;
+        let mut in_flight = 0;
+        let mut acked = 0;
+        let mut requeued = 0;
+        let channel_count;
+        {
+            let channels = t.channels.lock();
+            channel_count = channels.len();
+            for ch in channels.values() {
+                depth += ch.depth();
+                in_flight += ch.in_flight_count();
+                acked += ch.acked.load(Ordering::Relaxed);
+                requeued += ch.requeued.load(Ordering::Relaxed);
+            }
+        }
+        let backlog_len = t.backlog.lock().len();
+        Some(TopicStats {
+            name: name.to_string(),
+            channels: channel_count,
+            published: t.published.load(Ordering::Relaxed),
+            depth: depth + backlog_len,
+            in_flight,
+            acked,
+            requeued,
+        })
+    }
+
+    /// Requeue every in-flight message older than `timeout` across all
+    /// topics and channels (run periodically, like nsqd's message
+    /// timeout). Returns how many messages were reclaimed.
+    pub fn reclaim_expired(&self, timeout: Duration) -> usize {
+        let topics: Vec<Arc<TopicState>> = self.inner.topics.lock().values().cloned().collect();
+        let mut n = 0;
+        for t in topics {
+            let channels: Vec<Arc<ChannelState>> = t.channels.lock().values().cloned().collect();
+            for ch in channels {
+                n += ch.reclaim_expired(timeout);
+            }
+        }
+        n
+    }
+
+    /// Whole-broker statistics snapshot.
+    pub fn stats(&self) -> BrokerStats {
+        let names = self.topic_names();
+        let mut s = BrokerStats {
+            topics: names.len(),
+            ..Default::default()
+        };
+        for n in names {
+            if let Some(t) = self.topic_stats(&n) {
+                s.channels += t.channels;
+                s.published += t.published;
+                s.depth += t.depth;
+                s.in_flight += t.in_flight;
+                s.acked += t.acked;
+                s.requeued += t.requeued;
+            }
+        }
+        s
+    }
+}
+
+/// Statistics for a single topic.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TopicStats {
+    /// Topic name.
+    pub name: String,
+    /// Channel count.
+    pub channels: usize,
+    /// Messages published to the topic.
+    pub published: u64,
+    /// Ready messages across channels (plus any backlog).
+    pub depth: usize,
+    /// Unacknowledged deliveries.
+    pub in_flight: usize,
+    /// Acknowledged messages.
+    pub acked: u64,
+    /// Requeue events.
+    pub requeued: u64,
+}
+
+/// Whole-broker statistics.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BrokerStats {
+    /// Live topic count.
+    pub topics: usize,
+    /// Total channels.
+    pub channels: usize,
+    /// Total published messages.
+    pub published: u64,
+    /// Total ready depth.
+    pub depth: usize,
+    /// Total in flight.
+    pub in_flight: usize,
+    /// Total acked.
+    pub acked: u64,
+    /// Total requeue events.
+    pub requeued: u64,
+}
+
+/// A consumer's handle on `topic/channel`.
+///
+/// Dropping the subscription requeues its in-flight messages (crash
+/// semantics) and garbage-collects ephemeral topics left without
+/// subscribers — the paper's "deleted if there are no producers and
+/// consumers".
+pub struct Subscription {
+    broker: Arc<BrokerInner>,
+    topic: Arc<TopicState>,
+    channel: Arc<ChannelState>,
+    subscriber_id: u64,
+}
+
+impl Subscription {
+    /// Blocking receive with timeout. The returned message is in flight
+    /// until [`Subscription::ack`] or [`Subscription::requeue`].
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Message, RecvError> {
+        self.channel.recv_timeout(self.subscriber_id, timeout)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Message> {
+        self.channel.try_recv(self.subscriber_id)
+    }
+
+    /// Acknowledge (complete) an in-flight message.
+    pub fn ack(&self, id: MessageId) -> bool {
+        self.channel.ack(self.subscriber_id, id)
+    }
+
+    /// Decline an in-flight message, returning it to the queue for
+    /// another consumer (attempt counter increments on redelivery).
+    pub fn requeue(&self, id: MessageId) -> bool {
+        self.channel.requeue(self.subscriber_id, id)
+    }
+
+    /// Ready depth of this subscription's channel.
+    pub fn depth(&self) -> usize {
+        self.channel.depth()
+    }
+
+    /// The queue route (`topic/channel`) this subscription consumes.
+    pub fn route(&self) -> String {
+        format!("{}/{}", self.topic.name, self.channel.name)
+    }
+}
+
+impl Drop for Subscription {
+    fn drop(&mut self) {
+        self.channel.requeue_all_for(self.subscriber_id);
+        let remaining = self.channel.subscribers.fetch_sub(1, Ordering::SeqCst) - 1;
+        if remaining == 0 && self.topic.ephemeral {
+            // GC the ephemeral topic if *no channel* has subscribers.
+            let any_subscribed = self
+                .topic
+                .channels
+                .lock()
+                .values()
+                .any(|ch| ch.subscribers.load(Ordering::SeqCst) > 0);
+            if !any_subscribed {
+                let mut topics = self.broker.topics.lock();
+                // Re-check under the topics lock: a new subscriber may
+                // have raced in via a fresh `subscribe` call.
+                let still_unused = self
+                    .topic
+                    .channels
+                    .lock()
+                    .values()
+                    .all(|ch| ch.subscribers.load(Ordering::SeqCst) == 0);
+                if still_unused {
+                    if let Some(t) = topics.get(&self.topic.name) {
+                        if Arc::ptr_eq(t, &self.topic) {
+                            topics.remove(&self.topic.name);
+                            for ch in self.topic.channels.lock().values() {
+                                ch.close();
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_publisher_single_consumer() {
+        let b = Broker::default();
+        let sub = b.subscribe("rai", "tasks");
+        b.publish("rai", &b"job-1"[..]).unwrap();
+        let m = sub.recv_timeout(Duration::from_millis(100)).unwrap();
+        assert_eq!(m.body_str(), "job-1");
+        assert!(sub.ack(m.id));
+        let s = b.topic_stats("rai").unwrap();
+        assert_eq!(s.published, 1);
+        assert_eq!(s.acked, 1);
+        assert_eq!(s.depth, 0);
+    }
+
+    #[test]
+    fn channel_fanout_and_load_balance() {
+        let b = Broker::default();
+        // Two channels: both see every message.
+        let cha = b.subscribe("t", "a");
+        let chb = b.subscribe("t", "b");
+        // Second consumer on channel a: load-balances with the first.
+        let cha2 = b.subscribe("t", "a");
+        for i in 0..10 {
+            b.publish("t", format!("m{i}")).unwrap();
+        }
+        // Channel b alone sees all 10.
+        let mut b_count = 0;
+        while let Some(m) = chb.try_recv() {
+            chb.ack(m.id);
+            b_count += 1;
+        }
+        assert_eq!(b_count, 10);
+        // Channel a's two consumers split 10 between them.
+        let mut a_count = 0;
+        while let Some(m) = cha.try_recv() {
+            cha.ack(m.id);
+            a_count += 1;
+        }
+        let mut a2_count = 0;
+        while let Some(m) = cha2.try_recv() {
+            cha2.ack(m.id);
+            a2_count += 1;
+        }
+        assert_eq!(a_count + a2_count, 10);
+    }
+
+    #[test]
+    fn backlog_drains_to_first_channel() {
+        let b = Broker::default();
+        // Worker publishes log lines before the client subscribes.
+        b.publish_ephemeral("log_job1", &b"line 1"[..]).unwrap();
+        b.publish_ephemeral("log_job1", &b"line 2"[..]).unwrap();
+        let sub = b.subscribe_ephemeral("log_job1", "ch");
+        let m1 = sub.recv_timeout(Duration::from_millis(100)).unwrap();
+        let m2 = sub.recv_timeout(Duration::from_millis(100)).unwrap();
+        assert_eq!(m1.body_str(), "line 1");
+        assert_eq!(m2.body_str(), "line 2");
+    }
+
+    #[test]
+    fn ephemeral_topic_gc_on_last_unsubscribe() {
+        let b = Broker::default();
+        let sub = b.subscribe_ephemeral("log_j", "ch");
+        assert!(b.has_topic("log_j"));
+        drop(sub);
+        assert!(!b.has_topic("log_j"), "ephemeral topic should be GC'd");
+    }
+
+    #[test]
+    fn durable_topic_survives_unsubscribe() {
+        let b = Broker::default();
+        let sub = b.subscribe("rai", "tasks");
+        drop(sub);
+        assert!(b.has_topic("rai"));
+    }
+
+    #[test]
+    fn requeue_redelivers_to_other_consumer() {
+        let b = Broker::default();
+        let w1 = b.subscribe("rai", "tasks");
+        let w2 = b.subscribe("rai", "tasks");
+        b.publish("rai", &b"big-job"[..]).unwrap();
+        // Worker 1 takes it but has no free capacity.
+        let m = w1.try_recv().or_else(|| w2.try_recv()).expect("someone gets it");
+        let (taker, other) = if w1.requeue(m.id) { (&w1, &w2) } else { (&w2, &w1) };
+        let _ = taker;
+        let m2 = other.recv_timeout(Duration::from_millis(100)).unwrap();
+        assert_eq!(m2.attempts, 2);
+        assert!(other.ack(m2.id));
+    }
+
+    #[test]
+    fn dropped_subscription_requeues_in_flight() {
+        let b = Broker::default();
+        let w1 = b.subscribe("rai", "tasks");
+        b.publish("rai", &b"job"[..]).unwrap();
+        let _taken = w1.try_recv().unwrap();
+        drop(w1); // crash before ack
+        let w2 = b.subscribe("rai", "tasks");
+        let m = w2.recv_timeout(Duration::from_millis(100)).unwrap();
+        assert_eq!(m.body_str(), "job");
+        assert_eq!(m.attempts, 2);
+    }
+
+    #[test]
+    fn backpressure_channel_full() {
+        let b = Broker::new(BrokerConfig {
+            max_channel_depth: 2,
+            max_backlog: 2,
+        });
+        let _sub = b.subscribe("t", "ch");
+        b.publish("t", &b"1"[..]).unwrap();
+        b.publish("t", &b"2"[..]).unwrap();
+        assert!(matches!(
+            b.publish("t", &b"3"[..]),
+            Err(PublishError::ChannelFull { .. })
+        ));
+    }
+
+    #[test]
+    fn backpressure_backlog_full() {
+        let b = Broker::new(BrokerConfig {
+            max_channel_depth: 10,
+            max_backlog: 1,
+        });
+        b.publish("t", &b"1"[..]).unwrap();
+        assert!(matches!(
+            b.publish("t", &b"2"[..]),
+            Err(PublishError::BacklogFull { .. })
+        ));
+    }
+
+    #[test]
+    fn delete_topic_closes_consumers() {
+        let b = Broker::default();
+        let sub = b.subscribe("t", "ch");
+        let b2 = b.clone();
+        let t = std::thread::spawn(move || sub.recv_timeout(Duration::from_secs(10)));
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(b2.delete_topic("t"));
+        assert_eq!(t.join().unwrap(), Err(RecvError::Closed));
+        assert!(!b.delete_topic("t"), "second delete is a no-op");
+    }
+
+    #[test]
+    fn stats_aggregate() {
+        let b = Broker::default();
+        let s1 = b.subscribe("rai", "tasks");
+        let _s2 = b.subscribe("log_1", "ch");
+        b.publish("rai", &b"a"[..]).unwrap();
+        b.publish("rai", &b"b"[..]).unwrap();
+        b.publish("log_1", &b"l"[..]).unwrap();
+        let m = s1.try_recv().unwrap();
+        s1.ack(m.id);
+        let s = b.stats();
+        assert_eq!(s.topics, 2);
+        assert_eq!(s.published, 3);
+        assert_eq!(s.acked, 1);
+        assert_eq!(s.depth, 2);
+    }
+
+    #[test]
+    fn route_formatting() {
+        let b = Broker::default();
+        let sub = b.subscribe("rai", "tasks");
+        assert_eq!(sub.route(), "rai/tasks");
+    }
+
+    #[test]
+    fn broker_wide_reclaim() {
+        let b = Broker::default();
+        let sub = b.subscribe("t", "ch");
+        b.publish("t", &b"stalls"[..]).unwrap();
+        let _taken = sub.try_recv().unwrap();
+        std::thread::sleep(Duration::from_millis(15));
+        assert_eq!(b.reclaim_expired(Duration::from_millis(5)), 1);
+        let again = sub.recv_timeout(Duration::from_millis(100)).unwrap();
+        assert_eq!(again.attempts, 2);
+        sub.ack(again.id);
+    }
+
+    #[test]
+    fn concurrent_producers_consumers() {
+        // 4 producers × 250 msgs, 4 consumers on one channel: every
+        // message is consumed exactly once.
+        let b = Broker::default();
+        let total = std::sync::Arc::new(AtomicU64::new(0));
+        let subs: Vec<Subscription> = (0..4).map(|_| b.subscribe("t", "work")).collect();
+        let mut handles = Vec::new();
+        for p in 0..4 {
+            let b = b.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..250 {
+                    b.publish("t", format!("{p}-{i}")).unwrap();
+                }
+            }));
+        }
+        for sub in subs {
+            let total = total.clone();
+            handles.push(std::thread::spawn(move || loop {
+                match sub.recv_timeout(Duration::from_millis(200)) {
+                    Ok(m) => {
+                        assert!(sub.ack(m.id));
+                        total.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(RecvError::Timeout) => break,
+                    Err(RecvError::Closed) => break,
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 1000);
+        let s = b.topic_stats("t").unwrap();
+        assert_eq!(s.acked, 1000);
+        assert_eq!(s.depth, 0);
+        assert_eq!(s.in_flight, 0);
+    }
+}

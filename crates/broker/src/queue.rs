@@ -1,0 +1,299 @@
+//! Per-channel queue state: a ready queue, an in-flight table keyed by
+//! subscriber, and a condvar for blocking consumers.
+
+use crate::message::{Message, MessageId};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Error from a blocking receive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecvError {
+    /// No message arrived within the timeout.
+    Timeout,
+    /// The channel (or its topic) was deleted.
+    Closed,
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvError::Timeout => write!(f, "recv timed out"),
+            RecvError::Closed => write!(f, "channel closed"),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+pub(crate) struct ChannelQueue {
+    pub ready: VecDeque<Message>,
+    /// message id → (subscriber id, message, delivery instant) awaiting
+    /// ack. The instant drives NSQ-style message-timeout redelivery.
+    pub in_flight: HashMap<MessageId, (u64, Message, std::time::Instant)>,
+    pub closed: bool,
+}
+
+pub(crate) struct ChannelState {
+    pub name: String,
+    pub queue: Mutex<ChannelQueue>,
+    pub available: Condvar,
+    pub subscribers: AtomicUsize,
+    // Counters for stats.
+    pub enqueued: AtomicU64,
+    pub acked: AtomicU64,
+    pub requeued: AtomicU64,
+}
+
+impl ChannelState {
+    pub fn new(name: &str) -> Self {
+        ChannelState {
+            name: name.to_string(),
+            queue: Mutex::new(ChannelQueue {
+                ready: VecDeque::new(),
+                in_flight: HashMap::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            subscribers: AtomicUsize::new(0),
+            enqueued: AtomicU64::new(0),
+            acked: AtomicU64::new(0),
+            requeued: AtomicU64::new(0),
+        }
+    }
+
+    /// Push a message to the ready queue and wake one consumer.
+    pub fn enqueue(&self, msg: Message) {
+        {
+            let mut q = self.queue.lock();
+            q.ready.push_back(msg);
+        }
+        self.enqueued.fetch_add(1, Ordering::Relaxed);
+        self.available.notify_one();
+    }
+
+    /// Blocking pop with timeout; the popped message moves to the
+    /// in-flight table under `subscriber`.
+    pub fn recv_timeout(&self, subscriber: u64, timeout: Duration) -> Result<Message, RecvError> {
+        let mut q = self.queue.lock();
+        loop {
+            if q.closed {
+                return Err(RecvError::Closed);
+            }
+            if let Some(mut msg) = q.ready.pop_front() {
+                msg.attempts += 1;
+                q.in_flight
+                    .insert(msg.id, (subscriber, msg.clone(), std::time::Instant::now()));
+                return Ok(msg);
+            }
+            if self.available.wait_for(&mut q, timeout).timed_out() {
+                return Err(RecvError::Timeout);
+            }
+        }
+    }
+
+    /// Non-blocking pop.
+    pub fn try_recv(&self, subscriber: u64) -> Option<Message> {
+        let mut q = self.queue.lock();
+        if q.closed {
+            return None;
+        }
+        let mut msg = q.ready.pop_front()?;
+        msg.attempts += 1;
+        q.in_flight
+            .insert(msg.id, (subscriber, msg.clone(), std::time::Instant::now()));
+        Some(msg)
+    }
+
+    /// Acknowledge an in-flight message. Returns `false` if it was not
+    /// in flight for this subscriber.
+    pub fn ack(&self, subscriber: u64, id: MessageId) -> bool {
+        let mut q = self.queue.lock();
+        match q.in_flight.get(&id) {
+            Some((owner, _, _)) if *owner == subscriber => {
+                q.in_flight.remove(&id);
+                self.acked.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Return an in-flight message to the back of the ready queue (a
+    /// worker declining a job it has no capacity for). Returns `false`
+    /// if it was not in flight for this subscriber.
+    pub fn requeue(&self, subscriber: u64, id: MessageId) -> bool {
+        let mut q = self.queue.lock();
+        match q.in_flight.get(&id) {
+            Some((owner, _, _)) if *owner == subscriber => {
+                let (_, msg, _) = q.in_flight.remove(&id).expect("checked above");
+                q.ready.push_back(msg);
+                drop(q);
+                self.requeued.fetch_add(1, Ordering::Relaxed);
+                self.available.notify_one();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Requeue everything a dropped subscriber still had in flight, so a
+    /// crashed worker's jobs are redelivered to surviving workers.
+    pub fn requeue_all_for(&self, subscriber: u64) -> usize {
+        let mut q = self.queue.lock();
+        let ids: Vec<MessageId> = q
+            .in_flight
+            .iter()
+            .filter(|(_, (owner, _, _))| *owner == subscriber)
+            .map(|(id, _)| *id)
+            .collect();
+        let n = ids.len();
+        for id in &ids {
+            let (_, msg, _) = q.in_flight.remove(id).expect("listed above");
+            q.ready.push_back(msg);
+        }
+        drop(q);
+        if n > 0 {
+            self.requeued.fetch_add(n as u64, Ordering::Relaxed);
+            self.available.notify_all();
+        }
+        n
+    }
+
+    /// Requeue in-flight messages that have been unacked longer than
+    /// `timeout` (NSQ's message-timeout behaviour: a worker that stalls
+    /// without crashing loses its claim). Returns how many moved.
+    pub fn reclaim_expired(&self, timeout: Duration) -> usize {
+        let now = std::time::Instant::now();
+        let mut q = self.queue.lock();
+        let ids: Vec<MessageId> = q
+            .in_flight
+            .iter()
+            .filter(|(_, (_, _, taken))| now.duration_since(*taken) >= timeout)
+            .map(|(id, _)| *id)
+            .collect();
+        let n = ids.len();
+        for id in &ids {
+            let (_, msg, _) = q.in_flight.remove(id).expect("listed above");
+            q.ready.push_back(msg);
+        }
+        drop(q);
+        if n > 0 {
+            self.requeued.fetch_add(n as u64, Ordering::Relaxed);
+            self.available.notify_all();
+        }
+        n
+    }
+
+    /// Close the channel, waking all blocked consumers with `Closed`.
+    pub fn close(&self) {
+        let mut q = self.queue.lock();
+        q.closed = true;
+        drop(q);
+        self.available.notify_all();
+    }
+
+    /// Ready-queue depth.
+    pub fn depth(&self) -> usize {
+        self.queue.lock().ready.len()
+    }
+
+    /// In-flight count.
+    pub fn in_flight_count(&self) -> usize {
+        self.queue.lock().in_flight.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn msg(id: u64) -> Message {
+        Message {
+            id: MessageId(id),
+            body: Bytes::from_static(b"x"),
+            attempts: 0,
+        }
+    }
+
+    #[test]
+    fn enqueue_recv_ack() {
+        let ch = ChannelState::new("ch");
+        ch.enqueue(msg(1));
+        let m = ch.recv_timeout(7, Duration::from_millis(10)).unwrap();
+        assert_eq!(m.id, MessageId(1));
+        assert_eq!(m.attempts, 1);
+        assert_eq!(ch.in_flight_count(), 1);
+        assert!(ch.ack(7, m.id));
+        assert!(!ch.ack(7, m.id), "double ack fails");
+        assert_eq!(ch.in_flight_count(), 0);
+    }
+
+    #[test]
+    fn ack_wrong_subscriber_rejected() {
+        let ch = ChannelState::new("ch");
+        ch.enqueue(msg(1));
+        let m = ch.try_recv(1).unwrap();
+        assert!(!ch.ack(2, m.id));
+        assert!(ch.ack(1, m.id));
+    }
+
+    #[test]
+    fn requeue_increments_attempts() {
+        let ch = ChannelState::new("ch");
+        ch.enqueue(msg(1));
+        let m = ch.try_recv(1).unwrap();
+        assert_eq!(m.attempts, 1);
+        assert!(ch.requeue(1, m.id));
+        let m2 = ch.try_recv(1).unwrap();
+        assert_eq!(m2.attempts, 2);
+    }
+
+    #[test]
+    fn recv_times_out() {
+        let ch = ChannelState::new("ch");
+        assert_eq!(
+            ch.recv_timeout(1, Duration::from_millis(5)),
+            Err(RecvError::Timeout)
+        );
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumer() {
+        let ch = std::sync::Arc::new(ChannelState::new("ch"));
+        let ch2 = ch.clone();
+        let t = std::thread::spawn(move || ch2.recv_timeout(1, Duration::from_secs(10)));
+        std::thread::sleep(Duration::from_millis(20));
+        ch.close();
+        assert_eq!(t.join().unwrap(), Err(RecvError::Closed));
+    }
+
+    #[test]
+    fn reclaim_expired_requeues_stalled_deliveries() {
+        let ch = ChannelState::new("ch");
+        ch.enqueue(msg(1));
+        let taken = ch.try_recv(1).unwrap();
+        assert_eq!(ch.reclaim_expired(Duration::from_secs(60)), 0, "fresh claim kept");
+        std::thread::sleep(Duration::from_millis(15));
+        assert_eq!(ch.reclaim_expired(Duration::from_millis(10)), 1);
+        let again = ch.try_recv(2).unwrap();
+        assert_eq!(again.id, taken.id);
+        assert_eq!(again.attempts, 2);
+    }
+
+    #[test]
+    fn dropped_subscriber_requeues_its_messages_only() {
+        let ch = ChannelState::new("ch");
+        ch.enqueue(msg(1));
+        ch.enqueue(msg(2));
+        ch.enqueue(msg(3));
+        let _a = ch.try_recv(1).unwrap();
+        let _b = ch.try_recv(1).unwrap();
+        let _c = ch.try_recv(2).unwrap();
+        assert_eq!(ch.requeue_all_for(1), 2);
+        assert_eq!(ch.depth(), 2);
+        assert_eq!(ch.in_flight_count(), 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! Model-based property tests for the broker: a single
+//! topic/channel/consumer must behave exactly like a FIFO queue with an
+//! in-flight set, under any interleaving of operations.
+
+use proptest::prelude::*;
+use rai_broker::{Broker, MessageId};
+use std::collections::VecDeque;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Publish(u8),
+    Recv,
+    AckOldest,
+    RequeueOldest,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            any::<u8>().prop_map(Op::Publish),
+            Just(Op::Recv),
+            Just(Op::AckOldest),
+            Just(Op::RequeueOldest),
+        ],
+        0..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Reference model: `ready` is a FIFO of bodies, `in_flight` a FIFO
+    /// of (id, body). The broker must match it op for op.
+    #[test]
+    fn single_channel_matches_fifo_model(ops in arb_ops()) {
+        let broker = Broker::default();
+        let sub = broker.subscribe("t", "ch");
+        let mut model_ready: VecDeque<u8> = VecDeque::new();
+        let mut model_in_flight: VecDeque<(MessageId, u8)> = VecDeque::new();
+
+        for op in ops {
+            match op {
+                Op::Publish(body) => {
+                    broker.publish("t", vec![body]).expect("publish");
+                    model_ready.push_back(body);
+                }
+                Op::Recv => {
+                    let got = sub.try_recv();
+                    match model_ready.pop_front() {
+                        Some(expected) => {
+                            let m = got.expect("model says a message is ready");
+                            prop_assert_eq!(m.body.as_ref(), &[expected][..]);
+                            model_in_flight.push_back((m.id, expected));
+                        }
+                        None => prop_assert!(got.is_none(), "broker had a surprise message"),
+                    }
+                }
+                Op::AckOldest => match model_in_flight.pop_front() {
+                    Some((id, _)) => prop_assert!(sub.ack(id)),
+                    None => prop_assert!(!sub.ack(MessageId(u64::MAX))),
+                },
+                Op::RequeueOldest => {
+                    if let Some((id, body)) = model_in_flight.pop_front() {
+                        prop_assert!(sub.requeue(id));
+                        model_ready.push_back(body);
+                    }
+                }
+            }
+            // Depth invariants hold after every operation.
+            prop_assert_eq!(sub.depth(), model_ready.len());
+            let stats = broker.topic_stats("t").expect("topic exists");
+            prop_assert_eq!(stats.in_flight, model_in_flight.len());
+        }
+    }
+
+    /// Conservation: every published message is eventually delivered
+    /// exactly once per channel when fully drained.
+    #[test]
+    fn fanout_conserves_messages(
+        bodies in prop::collection::vec(any::<u8>(), 0..60),
+        channels in 1usize..5,
+    ) {
+        let broker = Broker::default();
+        let subs: Vec<_> = (0..channels)
+            .map(|i| broker.subscribe("t", &format!("ch{i}")))
+            .collect();
+        for b in &bodies {
+            broker.publish("t", vec![*b]).expect("publish");
+        }
+        for sub in &subs {
+            let mut seen = Vec::new();
+            while let Some(m) = sub.try_recv() {
+                prop_assert!(sub.ack(m.id));
+                seen.push(m.body[0]);
+            }
+            prop_assert_eq!(&seen, &bodies, "each channel sees every message in order");
+        }
+        let stats = broker.topic_stats("t").expect("topic exists");
+        prop_assert_eq!(stats.depth, 0);
+        prop_assert_eq!(stats.in_flight, 0);
+        prop_assert_eq!(stats.acked, (bodies.len() * channels) as u64);
+    }
+
+    /// Attempt counters increment exactly once per delivery.
+    #[test]
+    fn attempts_track_deliveries(requeues in 0u32..6) {
+        let broker = Broker::default();
+        let sub = broker.subscribe("t", "ch");
+        broker.publish("t", &b"x"[..]).expect("publish");
+        for expected in 1..=requeues + 1 {
+            let m = sub.try_recv().expect("redelivered");
+            prop_assert_eq!(m.attempts, expected);
+            if expected == requeues + 1 {
+                sub.ack(m.id);
+            } else {
+                sub.requeue(m.id);
+            }
+        }
+        prop_assert!(sub.try_recv().is_none());
+    }
+}

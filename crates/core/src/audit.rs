@@ -1,0 +1,200 @@
+//! Course auditing over the submissions database (paper §IV: "The
+//! information in this database is useful for grading or any other
+//! coursework auditing process").
+//!
+//! Built on the database's aggregation pipelines; these are the reports
+//! the staff pulled while running the semester: per-team submission
+//! behaviour, per-worker utilization, and course-wide totals.
+
+use rai_db::aggregate::{aggregate, Accumulator, Stage};
+use rai_db::{doc, Database, SortOrder, Value};
+
+/// Per-team submission behaviour.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TeamStats {
+    /// Team name.
+    pub team: String,
+    /// Total submissions.
+    pub submissions: i64,
+    /// Successful submissions.
+    pub successes: i64,
+    /// Best (minimum) student-visible runtime, if any program ran.
+    pub best_secs: Option<f64>,
+    /// Mean student-visible runtime.
+    pub mean_secs: Option<f64>,
+}
+
+/// Per-worker utilization.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkerStats {
+    /// Worker id.
+    pub worker: String,
+    /// Jobs executed.
+    pub jobs: i64,
+    /// Total container wall-clock seconds served.
+    pub busy_secs: f64,
+}
+
+/// Per-team stats, most-active first.
+pub fn team_stats(db: &Database) -> Vec<TeamStats> {
+    let coll = db.collection("submissions");
+    let rows = aggregate(
+        &coll.read(),
+        &[Stage::Group {
+            by: Some("team".into()),
+            fields: vec![
+                ("n".into(), Accumulator::Count),
+                ("best".into(), Accumulator::Min("internal_secs".into())),
+                ("mean".into(), Accumulator::Avg("internal_secs".into())),
+            ],
+        }],
+    );
+    let mut out: Vec<TeamStats> = rows
+        .into_iter()
+        .filter_map(|r| {
+            let team = r.get("_id")?.as_str()?.to_string();
+            let successes = coll
+                .read()
+                .count(&doc! { "team" => team.as_str(), "success" => true })
+                as i64;
+            Some(TeamStats {
+                submissions: r.get("n")?.as_i64()?,
+                successes,
+                best_secs: r.get("best").and_then(Value::as_f64),
+                mean_secs: r.get("mean").and_then(Value::as_f64),
+                team,
+            })
+        })
+        .collect();
+    out.sort_by(|a, b| b.submissions.cmp(&a.submissions).then(a.team.cmp(&b.team)));
+    out
+}
+
+/// Per-worker utilization, busiest first.
+pub fn worker_stats(db: &Database) -> Vec<WorkerStats> {
+    let coll = db.collection("submissions");
+    let rows = aggregate(
+        &coll.read(),
+        &[
+            Stage::Group {
+                by: Some("worker".into()),
+                fields: vec![
+                    ("jobs".into(), Accumulator::Count),
+                    ("busy".into(), Accumulator::Sum("wall_secs".into())),
+                ],
+            },
+            Stage::Sort("jobs".into(), SortOrder::Desc),
+        ],
+    );
+    rows.into_iter()
+        .filter_map(|r| {
+            Some(WorkerStats {
+                worker: r.get("_id")?.as_str()?.to_string(),
+                jobs: r.get("jobs")?.as_i64()?,
+                busy_secs: r.get("busy").and_then(Value::as_f64).unwrap_or(0.0),
+            })
+        })
+        .collect()
+}
+
+/// Course totals: `(submissions, successes, distinct teams)`.
+pub fn course_totals(db: &Database) -> (usize, usize, usize) {
+    let coll = db.collection("submissions");
+    let guard = coll.read();
+    let total = guard.count(&doc! {});
+    let ok = guard.count(&doc! { "success" => true });
+    let teams = guard.distinct("team", &doc! {}).len();
+    (total, ok, teams)
+}
+
+/// Render the per-team table.
+pub fn render_team_stats(stats: &[TeamStats], limit: usize) -> String {
+    let mut out = format!(
+        "{:<12} {:>6} {:>6} {:>10} {:>10}\n",
+        "team", "subs", "ok", "best (s)", "mean (s)"
+    );
+    for s in stats.iter().take(limit) {
+        out.push_str(&format!(
+            "{:<12} {:>6} {:>6} {:>10} {:>10}\n",
+            s.team,
+            s.submissions,
+            s.successes,
+            s.best_secs.map(|v| format!("{v:.3}")).unwrap_or_else(|| "-".into()),
+            s.mean_secs.map(|v| format!("{v:.3}")).unwrap_or_else(|| "-".into()),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ProjectDir;
+    use crate::system::{RaiSystem, SystemConfig};
+
+    fn populated() -> RaiSystem {
+        let mut sys = RaiSystem::new(SystemConfig {
+            workers: 2,
+            rate_limit: None,
+            ..Default::default()
+        });
+        let a = sys.register_team("alpha", &[]);
+        let b = sys.register_team("beta", &[]);
+        for _ in 0..3 {
+            sys.submit(&a, &ProjectDir::sample_cuda_project()).unwrap();
+        }
+        // One failing submission for alpha.
+        let mut broken = ProjectDir::sample_cuda_project();
+        broken.tree.insert("main.cu", &b"RAI_SYNTAX_ERROR"[..]).unwrap();
+        sys.submit(&a, &broken).unwrap();
+        sys.submit(&b, &ProjectDir::sample_cuda_project()).unwrap();
+        sys
+    }
+
+    #[test]
+    fn team_stats_counts_and_runtimes() {
+        let sys = populated();
+        let stats = team_stats(sys.db());
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].team, "alpha", "most active first");
+        assert_eq!(stats[0].submissions, 4);
+        assert_eq!(stats[0].successes, 3);
+        assert!(stats[0].best_secs.unwrap() > 0.0);
+        assert!(stats[0].mean_secs.unwrap() >= stats[0].best_secs.unwrap());
+        assert_eq!(stats[1].team, "beta");
+        assert_eq!(stats[1].submissions, 1);
+    }
+
+    #[test]
+    fn worker_stats_cover_all_jobs() {
+        let sys = populated();
+        let stats = worker_stats(sys.db());
+        let total_jobs: i64 = stats.iter().map(|w| w.jobs).sum();
+        assert_eq!(total_jobs, 5);
+        assert!(stats.iter().all(|w| w.busy_secs >= 0.0));
+        // Busiest first.
+        for w in stats.windows(2) {
+            assert!(w[0].jobs >= w[1].jobs);
+        }
+    }
+
+    #[test]
+    fn totals() {
+        let sys = populated();
+        let (total, ok, teams) = course_totals(sys.db());
+        assert_eq!(total, 5);
+        assert_eq!(ok, 4);
+        assert_eq!(teams, 2);
+    }
+
+    #[test]
+    fn render_is_stable() {
+        let sys = populated();
+        let text = render_team_stats(&team_stats(sys.db()), 10);
+        assert!(text.contains("alpha"));
+        assert!(text.contains("beta"));
+        assert_eq!(text.lines().count(), 3);
+        // Limit respected.
+        assert_eq!(render_team_stats(&team_stats(sys.db()), 1).lines().count(), 2);
+    }
+}

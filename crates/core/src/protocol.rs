@@ -1,0 +1,240 @@
+//! The wire protocol: job requests and log-stream messages exchanged
+//! over the broker (paper §V "Message Broker Operations").
+//!
+//! Job requests are serialized as YAML (the same in-repo parser the
+//! build spec uses). Log messages are plain text with a small set of
+//! control frames; the worker forwards container stdout/stderr as `out`
+//! / `err` frames and finishes with the `End` message the client waits
+//! for.
+
+use rai_yaml::{parse, to_string, Yaml};
+
+/// Well-known queue routes.
+pub mod routes {
+    /// Topic clients publish job requests to.
+    pub const TASK_TOPIC: &str = "rai";
+    /// Channel all workers share on the task topic.
+    pub const TASK_CHANNEL: &str = "tasks";
+
+    /// Per-job ephemeral log topic (`log_${job_id}`).
+    pub fn log_topic(job_id: u64) -> String {
+        format!("log_{job_id:08x}")
+    }
+
+    /// The single channel on a log topic.
+    pub const LOG_CHANNEL: &str = "#ch";
+}
+
+/// Submission kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobKind {
+    /// Development run (`rai`), uses the student's build file.
+    Run,
+    /// Final submission (`rai submit`), enforced build file + ranking.
+    Submit,
+}
+
+/// A job request as published on `rai/tasks`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobRequest {
+    /// Client-chosen unique job id.
+    pub job_id: u64,
+    /// Submitting user's access key.
+    pub access_key: String,
+    /// HMAC signature over the canonical request.
+    pub signature: String,
+    /// Team name (ranking key).
+    pub team: String,
+    /// Where the packed project was uploaded (bucket, key).
+    pub upload_bucket: String,
+    /// Object key of the uploaded archive.
+    pub upload_key: String,
+    /// The raw `rai-build.yml` text (embedded in the job message).
+    pub build_yml: String,
+    /// Run vs final submission.
+    pub kind: JobKind,
+}
+
+impl JobRequest {
+    /// The byte string that gets signed: everything except the
+    /// signature itself.
+    pub fn signing_payload(&self) -> Vec<u8> {
+        format!(
+            "{}\n{}\n{}\n{}\n{}\n{}\n{}",
+            self.job_id,
+            self.access_key,
+            self.team,
+            self.upload_bucket,
+            self.upload_key,
+            match self.kind {
+                JobKind::Run => "run",
+                JobKind::Submit => "submit",
+            },
+            self.build_yml,
+        )
+        .into_bytes()
+    }
+
+    /// Serialize for the broker.
+    pub fn encode(&self) -> String {
+        let doc = Yaml::Map(vec![
+            ("job_id".into(), Yaml::Int(self.job_id as i64)),
+            ("access_key".into(), Yaml::Str(self.access_key.clone())),
+            ("signature".into(), Yaml::Str(self.signature.clone())),
+            ("team".into(), Yaml::Str(self.team.clone())),
+            ("upload_bucket".into(), Yaml::Str(self.upload_bucket.clone())),
+            ("upload_key".into(), Yaml::Str(self.upload_key.clone())),
+            (
+                "kind".into(),
+                Yaml::Str(
+                    match self.kind {
+                        JobKind::Run => "run",
+                        JobKind::Submit => "submit",
+                    }
+                    .to_string(),
+                ),
+            ),
+            ("build_yml".into(), Yaml::Str(self.build_yml.clone())),
+        ]);
+        to_string(&doc)
+    }
+
+    /// Deserialize from the broker; `None` for malformed messages (the
+    /// worker drops them rather than crashing).
+    pub fn decode(text: &str) -> Option<JobRequest> {
+        let doc = parse(text).ok()?;
+        let s = |k: &str| doc.get(k)?.as_str().map(str::to_string);
+        Some(JobRequest {
+            job_id: doc.get("job_id")?.as_i64()? as u64,
+            access_key: s("access_key")?,
+            signature: s("signature")?,
+            team: s("team")?,
+            upload_bucket: s("upload_bucket")?,
+            upload_key: s("upload_key")?,
+            build_yml: s("build_yml")?,
+            kind: match doc.get("kind")?.as_str()? {
+                "submit" => JobKind::Submit,
+                "run" => JobKind::Run,
+                _ => return None,
+            },
+        })
+    }
+}
+
+/// Frames published on the per-job log topic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LogFrame {
+    /// Container stdout line.
+    Out(String),
+    /// Container stderr line.
+    Err(String),
+    /// Worker status note (queue position, image pull, upload).
+    Status(String),
+    /// URL of the uploaded `/build` archive.
+    BuildUrl(String),
+    /// Terminal frame: job finished with this success flag.
+    End { success: bool },
+}
+
+impl LogFrame {
+    /// Serialize as a single line.
+    pub fn encode(&self) -> String {
+        match self {
+            LogFrame::Out(s) => format!("out {s}"),
+            LogFrame::Err(s) => format!("err {s}"),
+            LogFrame::Status(s) => format!("sts {s}"),
+            LogFrame::BuildUrl(s) => format!("url {s}"),
+            LogFrame::End { success } => format!("end {}", if *success { "ok" } else { "fail" }),
+        }
+    }
+
+    /// Parse a frame line; unknown prefixes decode as stdout (forward
+    /// compatibility with older clients, as the paper's two-branch
+    /// release flow requires).
+    pub fn decode(line: &str) -> LogFrame {
+        match line.split_once(' ') {
+            Some(("out", rest)) => LogFrame::Out(rest.to_string()),
+            Some(("err", rest)) => LogFrame::Err(rest.to_string()),
+            Some(("sts", rest)) => LogFrame::Status(rest.to_string()),
+            Some(("url", rest)) => LogFrame::BuildUrl(rest.to_string()),
+            Some(("end", rest)) => LogFrame::End {
+                success: rest == "ok",
+            },
+            _ => LogFrame::Out(line.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> JobRequest {
+        JobRequest {
+            job_id: 0xDEAD,
+            access_key: "BsqJuFUI2ZtK4g1aLXf-OjmML6".into(),
+            signature: "ab12".into(),
+            team: "gpu gophers".into(),
+            upload_bucket: "rai-uploads".into(),
+            upload_key: "gpu-gophers/0000dead.tar.bz2".into(),
+            build_yml: crate::spec::DEFAULT_BUILD_YML.into(),
+            kind: JobKind::Submit,
+        }
+    }
+
+    #[test]
+    fn job_request_round_trips() {
+        let r = sample();
+        let text = r.encode();
+        let back = JobRequest::decode(&text).unwrap();
+        assert_eq!(back, r);
+        // The embedded multi-line build file survived.
+        assert!(back.build_yml.contains("cmake /src"));
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(JobRequest::decode("not yaml: [").is_none());
+        assert!(JobRequest::decode("a: 1\n").is_none());
+        let mut r = sample().encode();
+        r = r.replace("kind: submit", "kind: explode");
+        assert!(JobRequest::decode(&r).is_none());
+    }
+
+    #[test]
+    fn signing_payload_excludes_signature() {
+        let mut r = sample();
+        let p1 = r.signing_payload();
+        r.signature = "different".into();
+        assert_eq!(p1, r.signing_payload());
+        r.team = "other".into();
+        assert_ne!(p1, r.signing_payload());
+    }
+
+    #[test]
+    fn log_frames_round_trip() {
+        for f in [
+            LogFrame::Out("Building project".into()),
+            LogFrame::Err("warning: unused".into()),
+            LogFrame::Status("queued behind 3 jobs".into()),
+            LogFrame::BuildUrl("rai-builds/abc.tar.bz2".into()),
+            LogFrame::End { success: true },
+            LogFrame::End { success: false },
+        ] {
+            assert_eq!(LogFrame::decode(&f.encode()), f);
+        }
+    }
+
+    #[test]
+    fn unknown_frame_is_treated_as_output() {
+        assert_eq!(
+            LogFrame::decode("v2-fancy-frame payload"),
+            LogFrame::Out("v2-fancy-frame payload".into())
+        );
+    }
+
+    #[test]
+    fn log_topic_naming() {
+        assert_eq!(routes::log_topic(0xBEEF), "log_0000beef");
+    }
+}

@@ -1,0 +1,403 @@
+//! Whole-system assembly: one call stands up the broker, file server,
+//! database, credential registry, image registry and a worker fleet —
+//! the in-process equivalent of the paper's Fig. 1 deployment.
+
+use crate::client::{
+    ProjectDir, RaiClient, SubmitError, SubmitMode, SubmitReceipt, BUILD_BUCKET,
+    UPLOAD_BUCKET,
+};
+use crate::interactive::{InteractiveSession, SessionBroker, SessionConfig, SessionError};
+use crate::ranking::RankingBoard;
+use crate::ratelimit::{RateDecision, RateLimiter};
+use crate::worker::{JobOutcome, Worker, WorkerConfig};
+use parking_lot::RwLock;
+use rai_auth::{Credentials, CredentialRegistry, KeyGenerator};
+use rai_broker::{Broker, BrokerStats};
+use rai_db::{doc, Database};
+use rai_sandbox::{ImageRegistry, ResourceLimits};
+use rai_sim::{SimDuration, VirtualClock};
+use rai_store::{LifecycleRule, ObjectStore, StoreUsage};
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Deployment configuration.
+#[derive(Clone, Debug)]
+pub struct SystemConfig {
+    /// Worker count.
+    pub workers: usize,
+    /// Concurrent jobs per worker (paper: >1 early, 1 for benchmarking).
+    pub jobs_per_worker: usize,
+    /// Relative GPU speed of the fleet (K80 = 1.0).
+    pub gpu_speed: f64,
+    /// Container limits.
+    pub limits: ResourceLimits,
+    /// Per-user minimum submission interval; `None` disables.
+    pub rate_limit: Option<SimDuration>,
+    /// Seed for key generation and worker noise.
+    pub seed: u64,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            workers: 1,
+            jobs_per_worker: 1,
+            gpu_speed: 1.0,
+            limits: ResourceLimits::default(),
+            rate_limit: Some(SimDuration::from_secs(30)),
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Aggregate usage numbers (paper §VII "Resource Usage").
+#[derive(Clone, Debug)]
+pub struct SystemReport {
+    /// File-server usage.
+    pub store: StoreUsage,
+    /// Broker statistics.
+    pub broker: BrokerStats,
+    /// Rows in the submissions collection.
+    pub submissions: usize,
+    /// Registered teams.
+    pub teams: usize,
+}
+
+/// An in-process RAI deployment.
+pub struct RaiSystem {
+    clock: VirtualClock,
+    broker: Broker,
+    store: ObjectStore,
+    db: Database,
+    registry: Arc<RwLock<CredentialRegistry>>,
+    images: Arc<ImageRegistry>,
+    workers: Vec<Worker>,
+    rate_limiter: Option<RateLimiter>,
+    keygen: KeyGenerator,
+    next_job_id: Arc<AtomicU64>,
+    sessions: SessionBroker,
+}
+
+impl RaiSystem {
+    /// Stand up a deployment.
+    pub fn new(config: SystemConfig) -> Self {
+        let clock = VirtualClock::new();
+        Self::with_clock(config, clock)
+    }
+
+    /// Stand up a deployment on an existing clock (for discrete-event
+    /// drivers).
+    pub fn with_clock(config: SystemConfig, clock: VirtualClock) -> Self {
+        let broker = Broker::default();
+        let store = ObjectStore::new(clock.clone());
+        store
+            .create_bucket(UPLOAD_BUCKET, LifecycleRule::one_month_after_last_use())
+            .expect("fresh store");
+        store
+            .create_bucket(BUILD_BUCKET, LifecycleRule::AfterUpload(SimDuration::from_days(90)))
+            .expect("fresh store");
+        let db = Database::new();
+        let registry = Arc::new(RwLock::new(CredentialRegistry::new()));
+        let images = Arc::new(ImageRegistry::course_default());
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                Worker::new(
+                    WorkerConfig {
+                        worker_id: format!("worker-{i:02}"),
+                        max_in_flight: config.jobs_per_worker.max(1),
+                        gpu_speed: config.gpu_speed,
+                        limits: config.limits,
+                        noise_seed: config.seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15),
+                    },
+                    broker.clone(),
+                    store.clone(),
+                    db.clone(),
+                    registry.clone(),
+                    images.clone(),
+                )
+            })
+            .collect();
+        let rate_limiter = config
+            .rate_limit
+            .map(|d| RateLimiter::new(clock.clone(), d));
+        let images2 = images.clone();
+        RaiSystem {
+            clock,
+            broker,
+            store,
+            db,
+            registry,
+            images,
+            workers,
+            rate_limiter,
+            keygen: KeyGenerator::from_seed(config.seed),
+            next_job_id: Arc::new(AtomicU64::new(1)),
+            sessions: SessionBroker::new(images2),
+        }
+    }
+
+    /// Register a team (generating credentials) and record its members.
+    pub fn register_team(&mut self, team: &str, members: &[&str]) -> Credentials {
+        let creds = self.keygen.generate(team);
+        self.registry.write().register(creds.clone());
+        self.db.collection("teams").write().insert_one(doc! {
+            "team" => team,
+            "members" => members.iter().map(|m| m.to_string()).collect::<Vec<_>>(),
+            "access_key" => creds.access_key.as_str(),
+        });
+        creds
+    }
+
+    /// Register an instructor: issues credentials and grants interactive
+    /// session access (the paper's §VIII future work).
+    pub fn register_instructor(&mut self, name: &str) -> Credentials {
+        let creds = self.keygen.generate(name);
+        self.registry.write().register(creds.clone());
+        self.sessions.grant(&creds.access_key);
+        creds
+    }
+
+    /// Open an interactive session (instructors only).
+    pub fn open_session(
+        &self,
+        creds: &Credentials,
+        project: &rai_archive::FileTree,
+        config: &SessionConfig,
+    ) -> Result<InteractiveSession, SessionError> {
+        self.sessions.open(&creds.access_key, project, config)
+    }
+
+    /// A client handle for previously issued credentials.
+    pub fn client_for(&self, creds: &Credentials) -> RaiClient {
+        RaiClient::new(
+            creds.clone(),
+            &creds.user_name,
+            self.broker.clone(),
+            self.store.clone(),
+            self.next_job_id.clone(),
+        )
+    }
+
+    fn check_rate(&self, creds: &Credentials) -> Result<(), SubmitError> {
+        if let Some(rl) = &self.rate_limiter {
+            if let RateDecision::Denied { retry_after } = rl.check(&creds.access_key) {
+                return Err(SubmitError::RateLimited {
+                    retry_after_secs: retry_after.as_secs(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Submit a development run and drive it to completion.
+    pub fn submit(&mut self, creds: &Credentials, project: &ProjectDir) -> Result<SubmitReceipt, SubmitError> {
+        self.submit_mode(creds, project, SubmitMode::Run)
+    }
+
+    /// Make a final submission (`rai submit`) and drive it to
+    /// completion.
+    pub fn submit_final(
+        &mut self,
+        creds: &Credentials,
+        project: &ProjectDir,
+    ) -> Result<SubmitReceipt, SubmitError> {
+        self.submit_mode(creds, project, SubmitMode::Submit)
+    }
+
+    fn submit_mode(
+        &mut self,
+        creds: &Credentials,
+        project: &ProjectDir,
+        mode: SubmitMode,
+    ) -> Result<SubmitReceipt, SubmitError> {
+        self.check_rate(creds)?;
+        let client = self.client_for(creds);
+        let pending = client.begin_submit(project, mode)?;
+        let job_id = pending.job_id;
+        self.drive_until(|o| o.job_id == job_id);
+        pending.wait(Duration::from_millis(500))
+    }
+
+    /// Step workers round-robin until `stop` matches an outcome or no
+    /// worker makes progress. Outcomes advance the shared virtual clock
+    /// by their service time. Returns all outcomes observed.
+    pub fn drive_until(&mut self, stop: impl Fn(&JobOutcome) -> bool) -> Vec<JobOutcome> {
+        let mut outcomes = Vec::new();
+        loop {
+            let mut progressed = false;
+            for w in &mut self.workers {
+                if let Some(outcome) = w.step() {
+                    self.clock.advance(outcome.service_time);
+                    let done = stop(&outcome);
+                    outcomes.push(outcome);
+                    progressed = true;
+                    if done {
+                        return outcomes;
+                    }
+                }
+            }
+            if !progressed {
+                return outcomes;
+            }
+        }
+    }
+
+    /// Drain every queued job.
+    pub fn drain(&mut self) -> Vec<JobOutcome> {
+        self.drive_until(|_| false)
+    }
+
+    /// The leaderboard.
+    pub fn rankings(&self) -> RankingBoard {
+        RankingBoard::new(self.db.clone())
+    }
+
+    /// Aggregate usage report.
+    pub fn report(&self) -> SystemReport {
+        SystemReport {
+            store: self.store.usage(),
+            broker: self.broker.stats(),
+            submissions: self.db.collection("submissions").read().len(),
+            teams: self.db.collection("teams").read().len(),
+        }
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// The database (for instructor tooling).
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// The object store.
+    pub fn store(&self) -> &ObjectStore {
+        &self.store
+    }
+
+    /// The broker.
+    pub fn broker(&self) -> &Broker {
+        &self.broker
+    }
+
+    /// The image registry.
+    pub fn images(&self) -> &Arc<ImageRegistry> {
+        &self.images
+    }
+
+    /// The credential registry.
+    pub fn registry(&self) -> &Arc<RwLock<CredentialRegistry>> {
+        &self.registry
+    }
+
+    /// Direct worker access (ablation experiments).
+    pub fn workers_mut(&mut self) -> &mut [Worker] {
+        &mut self.workers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quickstart_flow() {
+        let mut system = RaiSystem::new(SystemConfig::default());
+        let creds = system.register_team("team-rust", &["alice", "bob"]);
+        let receipt = system
+            .submit(&creds, &ProjectDir::sample_cuda_project())
+            .expect("submission should succeed");
+        assert!(receipt.success);
+        assert!(receipt.log.iter().any(|l| l.contains("Building project")));
+        assert_eq!(system.report().submissions, 1);
+        assert_eq!(system.report().teams, 1);
+    }
+
+    #[test]
+    fn final_submission_updates_leaderboard() {
+        let mut system = RaiSystem::new(SystemConfig {
+            rate_limit: None,
+            ..Default::default()
+        });
+        let fast = system.register_team("fast", &[]);
+        let slow = system.register_team("slow", &[]);
+        system
+            .submit_final(
+                &fast,
+                &ProjectDir::cuda_project_with_perf(400.0, 0.93, 1024).with_final_artifacts(),
+            )
+            .unwrap();
+        system
+            .submit_final(
+                &slow,
+                &ProjectDir::cuda_project_with_perf(1500.0, 0.91, 1024).with_final_artifacts(),
+            )
+            .unwrap();
+        let standings = system.rankings().standings();
+        assert_eq!(standings[0].0, "fast");
+        assert_eq!(standings[1].0, "slow");
+        assert_eq!(system.rankings().rank_of("slow"), Some(2));
+    }
+
+    #[test]
+    fn rate_limit_enforced_by_system() {
+        let mut system = RaiSystem::new(SystemConfig::default());
+        let creds = system.register_team("eager", &[]);
+        let p = ProjectDir::sample_cuda_project();
+        system.submit(&creds, &p).unwrap();
+        // The virtual clock advanced by the job's service time (>30 s
+        // because of the image pull), so a second submit is allowed;
+        // a third immediately after is denied.
+        system.submit(&creds, &p).unwrap();
+        match system.submit(&creds, &p) {
+            Err(SubmitError::RateLimited { retry_after_secs }) => {
+                assert!(retry_after_secs <= 30);
+            }
+            other => panic!("expected rate limit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn usage_report_counts_bytes() {
+        let mut system = RaiSystem::new(SystemConfig {
+            rate_limit: None,
+            ..Default::default()
+        });
+        let creds = system.register_team("t", &[]);
+        for _ in 0..3 {
+            system.submit(&creds, &ProjectDir::sample_cuda_project()).unwrap();
+        }
+        let report = system.report();
+        assert_eq!(report.submissions, 3);
+        // 3 project uploads + 3 build-output uploads.
+        assert_eq!(report.store.puts, 6);
+        assert!(report.store.bytes_uploaded > 0);
+        assert!(report.broker.published >= 3);
+    }
+
+    #[test]
+    fn multiple_workers_share_queue() {
+        let mut system = RaiSystem::new(SystemConfig {
+            workers: 4,
+            rate_limit: None,
+            ..Default::default()
+        });
+        let creds = system.register_team("t", &[]);
+        let client = system.client_for(&creds);
+        let pendings: Vec<_> = (0..8)
+            .map(|_| {
+                client
+                    .begin_submit(&ProjectDir::sample_cuda_project(), SubmitMode::Run)
+                    .unwrap()
+            })
+            .collect();
+        let outcomes = system.drain();
+        assert_eq!(outcomes.len(), 8);
+        for p in pendings {
+            assert!(p.wait(Duration::from_millis(500)).unwrap().success);
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests for the core protocol surface: everything a student
+//! (or attacker) can feed the system parses or fails cleanly, and the
+//! wire formats round-trip.
+
+use proptest::prelude::*;
+use rai_core::protocol::{JobKind, JobRequest, LogFrame};
+use rai_core::spec::BuildSpec;
+
+fn arb_request() -> impl Strategy<Value = JobRequest> {
+    (
+        any::<u64>(),
+        "[a-zA-Z0-9-]{1,30}",
+        "[a-f0-9]{64}",
+        "[a-zA-Z0-9 _-]{1,20}",
+        "[a-z0-9/._-]{1,40}",
+        prop_oneof![Just(JobKind::Run), Just(JobKind::Submit)],
+        // Build files with tricky content: quotes, colons, unicode-free
+        // printable ASCII plus newlines.
+        "[ -~\\n]{0,200}",
+    )
+        .prop_map(|(job_id, access_key, signature, team, upload_key, kind, build_yml)| JobRequest {
+            job_id,
+            access_key,
+            signature,
+            team,
+            upload_bucket: "rai-uploads".to_string(),
+            upload_key,
+            build_yml,
+            kind,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn job_request_round_trips(req in arb_request()) {
+        let encoded = req.encode();
+        let decoded = JobRequest::decode(&encoded).expect("own encoding must decode");
+        prop_assert_eq!(decoded, req);
+    }
+
+    #[test]
+    fn job_request_decode_never_panics(text in "[ -~\\n]{0,400}") {
+        let _ = JobRequest::decode(&text);
+    }
+
+    #[test]
+    fn signing_payload_is_injective_in_team_and_key(req in arb_request(), other_team in "[a-zA-Z0-9 _-]{1,20}") {
+        prop_assume!(other_team != req.team);
+        let mut changed = req.clone();
+        changed.team = other_team;
+        prop_assert_ne!(req.signing_payload(), changed.signing_payload());
+    }
+
+    #[test]
+    fn log_frames_round_trip(
+        kind in 0u8..5,
+        text in "[ -~]{0,120}",
+    ) {
+        let frame = match kind {
+            0 => LogFrame::Out(text),
+            1 => LogFrame::Err(text),
+            2 => LogFrame::Status(text),
+            3 => LogFrame::BuildUrl(text),
+            _ => LogFrame::End { success: text.len() % 2 == 0 },
+        };
+        prop_assert_eq!(LogFrame::decode(&frame.encode()), frame);
+    }
+
+    #[test]
+    fn build_spec_parse_never_panics(text in "[ -~\\n]{0,400}") {
+        let _ = BuildSpec::parse(&text);
+    }
+
+    #[test]
+    fn build_spec_accepts_generated_valid_files(
+        image in "[a-z][a-z0-9/:.-]{0,20}",
+        // Commands start with a letter so YAML plain-scalar type
+        // inference cannot reinterpret them (e.g. `.0` parses as a
+        // float, which the spec layer rightly rejects as a command).
+        commands in prop::collection::vec("[a-zA-Z][a-zA-Z0-9 ./_-]{0,39}", 1..10),
+    ) {
+        let mut yml = format!("rai:\n  version: 0.1\n  image: {image}\ncommands:\n  build:\n");
+        for c in &commands {
+            yml.push_str(&format!("    - {}\n", c.trim()));
+        }
+        // Commands that trim to empty would be rejected; skip those.
+        prop_assume!(commands.iter().all(|c| !c.trim().is_empty()));
+        let spec = BuildSpec::parse(&yml).expect("generated file is valid");
+        prop_assert_eq!(spec.image, image);
+        prop_assert_eq!(spec.build.len(), commands.len());
+        for (parsed, original) in spec.build.iter().zip(&commands) {
+            prop_assert_eq!(parsed.as_str(), original.trim());
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! Aggregation pipelines — the audit/reporting queries the paper's §IV
+//! database exists for ("useful for grading or any other coursework
+//! auditing process"): per-team submission counts, success rates, mean
+//! runtimes per worker, and so on.
+//!
+//! A pipeline is a list of [`Stage`]s applied in order, Mongo-style:
+//! `$match → $group → $sort → $skip/$limit → $project`.
+
+use crate::collection::{Collection, SortOrder};
+use crate::query::matches;
+use crate::value::{Document, Value};
+
+/// One accumulator inside a `$group`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Accumulator {
+    /// Count of documents in the group.
+    Count,
+    /// Sum of a numeric field (non-numeric values ignored).
+    Sum(String),
+    /// Mean of a numeric field (groups with no numeric values get Null).
+    Avg(String),
+    /// Minimum by the database value order.
+    Min(String),
+    /// Maximum by the database value order.
+    Max(String),
+    /// First value encountered (insertion order).
+    First(String),
+    /// All values collected into an array.
+    Push(String),
+}
+
+/// A pipeline stage.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stage {
+    /// Filter with the standard query engine.
+    Match(Document),
+    /// Group by a dotted path (`None` groups everything into one
+    /// bucket); each output document carries `_id` (the group key) and
+    /// one field per accumulator.
+    Group {
+        /// Dotted path of the grouping key.
+        by: Option<String>,
+        /// `(output field, accumulator)` pairs.
+        fields: Vec<(String, Accumulator)>,
+    },
+    /// Sort by a dotted path.
+    Sort(String, SortOrder),
+    /// Drop the first N documents.
+    Skip(usize),
+    /// Keep at most N documents.
+    Limit(usize),
+    /// Keep only the listed top-level fields.
+    Project(Vec<String>),
+}
+
+/// Run a pipeline over a collection snapshot.
+pub fn aggregate(collection: &Collection, pipeline: &[Stage]) -> Vec<Document> {
+    let mut docs = collection.find(&Document::new());
+    for stage in pipeline {
+        docs = apply_stage(docs, stage);
+    }
+    docs
+}
+
+/// Run a pipeline over an already-materialized document set (lets
+/// callers chain custom sources).
+pub fn aggregate_docs(docs: Vec<Document>, pipeline: &[Stage]) -> Vec<Document> {
+    let mut docs = docs;
+    for stage in pipeline {
+        docs = apply_stage(docs, stage);
+    }
+    docs
+}
+
+fn apply_stage(docs: Vec<Document>, stage: &Stage) -> Vec<Document> {
+    match stage {
+        Stage::Match(query) => docs.into_iter().filter(|d| matches(query, d)).collect(),
+        Stage::Sort(field, order) => {
+            let mut docs = docs;
+            let null = Value::Null;
+            docs.sort_by(|a, b| {
+                let x = a.get_path(field).unwrap_or(&null);
+                let y = b.get_path(field).unwrap_or(&null);
+                match order {
+                    SortOrder::Asc => x.cmp_order(y),
+                    SortOrder::Desc => x.cmp_order(y).reverse(),
+                }
+            });
+            docs
+        }
+        Stage::Skip(n) => docs.into_iter().skip(*n).collect(),
+        Stage::Limit(n) => docs.into_iter().take(*n).collect(),
+        Stage::Project(fields) => docs
+            .into_iter()
+            .map(|d| {
+                let mut out = Document::new();
+                for f in fields {
+                    if let Some(v) = d.get(f) {
+                        out.insert(f.clone(), v.clone());
+                    }
+                }
+                out
+            })
+            .collect(),
+        Stage::Group { by, fields } => group(docs, by.as_deref(), fields),
+    }
+}
+
+fn group(docs: Vec<Document>, by: Option<&str>, fields: &[(String, Accumulator)]) -> Vec<Document> {
+    // Group keys keep first-seen order, then output is sorted by key for
+    // determinism.
+    let mut keys: Vec<Value> = Vec::new();
+    let mut buckets: Vec<Vec<Document>> = Vec::new();
+    for d in docs {
+        let key = match by {
+            Some(path) => d.get_path(path).cloned().unwrap_or(Value::Null),
+            None => Value::Null,
+        };
+        match keys.iter().position(|k| k.eq_loose(&key)) {
+            Some(i) => buckets[i].push(d),
+            None => {
+                keys.push(key);
+                buckets.push(vec![d]);
+            }
+        }
+    }
+    let mut out: Vec<(Value, Document)> = keys
+        .into_iter()
+        .zip(buckets)
+        .map(|(key, bucket)| {
+            let mut doc = Document::new();
+            doc.insert("_id", key.clone());
+            for (name, acc) in fields {
+                doc.insert(name.clone(), run_accumulator(acc, &bucket));
+            }
+            (key, doc)
+        })
+        .collect();
+    out.sort_by(|(a, _), (b, _)| a.cmp_order(b));
+    out.into_iter().map(|(_, d)| d).collect()
+}
+
+fn run_accumulator(acc: &Accumulator, bucket: &[Document]) -> Value {
+    let values = |path: &str| {
+        bucket
+            .iter()
+            .filter_map(move |d| d.get_path(path))
+            .cloned()
+            .collect::<Vec<Value>>()
+    };
+    match acc {
+        Accumulator::Count => Value::Int(bucket.len() as i64),
+        Accumulator::Sum(path) => {
+            let total: f64 = values(path).iter().filter_map(Value::as_f64).sum();
+            // Keep integer sums integral when every input was an Int.
+            if values(path).iter().all(|v| matches!(v, Value::Int(_))) {
+                Value::Int(total as i64)
+            } else {
+                Value::Float(total)
+            }
+        }
+        Accumulator::Avg(path) => {
+            let nums: Vec<f64> = values(path).iter().filter_map(Value::as_f64).collect();
+            if nums.is_empty() {
+                Value::Null
+            } else {
+                Value::Float(nums.iter().sum::<f64>() / nums.len() as f64)
+            }
+        }
+        // Min/Max skip explicit nulls: a failed submission records
+        // `internal_secs: null` and must not become the "best" runtime.
+        Accumulator::Min(path) => values(path)
+            .into_iter()
+            .filter(|v| !matches!(v, Value::Null))
+            .min_by(|a, b| a.cmp_order(b))
+            .unwrap_or(Value::Null),
+        Accumulator::Max(path) => values(path)
+            .into_iter()
+            .filter(|v| !matches!(v, Value::Null))
+            .max_by(|a, b| a.cmp_order(b))
+            .unwrap_or(Value::Null),
+        Accumulator::First(path) => values(path).into_iter().next().unwrap_or(Value::Null),
+        Accumulator::Push(path) => Value::Array(values(path)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doc;
+
+    /// The submissions table the worker writes (§V step ⑦).
+    fn submissions() -> Collection {
+        let mut c = Collection::new();
+        c.insert_many([
+            doc! { "team" => "a", "success" => true,  "secs" => 0.5, "worker" => "w0" },
+            doc! { "team" => "a", "success" => true,  "secs" => 0.4, "worker" => "w1" },
+            doc! { "team" => "a", "success" => false, "worker" => "w0" },
+            doc! { "team" => "b", "success" => true,  "secs" => 1.5, "worker" => "w0" },
+            doc! { "team" => "b", "success" => true,  "secs" => 1.1, "worker" => "w1" },
+            doc! { "team" => "c", "success" => false, "worker" => "w1" },
+        ]);
+        c
+    }
+
+    #[test]
+    fn per_team_submission_counts() {
+        let rows = aggregate(
+            &submissions(),
+            &[Stage::Group {
+                by: Some("team".into()),
+                fields: vec![("n".into(), Accumulator::Count)],
+            }],
+        );
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].get("_id"), Some(&Value::from("a")));
+        assert_eq!(rows[0].get("n"), Some(&Value::Int(3)));
+        assert_eq!(rows[2].get("n"), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn match_then_group_mean_runtime() {
+        let rows = aggregate(
+            &submissions(),
+            &[
+                Stage::Match(doc! { "success" => true }),
+                Stage::Group {
+                    by: Some("team".into()),
+                    fields: vec![
+                        ("avg".into(), Accumulator::Avg("secs".into())),
+                        ("best".into(), Accumulator::Min("secs".into())),
+                        ("worst".into(), Accumulator::Max("secs".into())),
+                    ],
+                },
+            ],
+        );
+        assert_eq!(rows.len(), 2, "team c has no successes");
+        let a = &rows[0];
+        assert!((a.get("avg").unwrap().as_f64().unwrap() - 0.45).abs() < 1e-9);
+        assert_eq!(a.get("best"), Some(&Value::Float(0.4)));
+        assert_eq!(a.get("worst"), Some(&Value::Float(0.5)));
+    }
+
+    #[test]
+    fn global_group_and_sum() {
+        let rows = aggregate(
+            &submissions(),
+            &[Stage::Group {
+                by: None,
+                fields: vec![
+                    ("total".into(), Accumulator::Count),
+                    ("time".into(), Accumulator::Sum("secs".into())),
+                ],
+            }],
+        );
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("total"), Some(&Value::Int(6)));
+        assert!((rows[0].get("time").unwrap().as_f64().unwrap() - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn integer_sum_stays_integer() {
+        let mut c = Collection::new();
+        c.insert_many([doc! { "n" => 2 }, doc! { "n" => 3 }]);
+        let rows = aggregate(
+            &c,
+            &[Stage::Group {
+                by: None,
+                fields: vec![("s".into(), Accumulator::Sum("n".into()))],
+            }],
+        );
+        assert_eq!(rows[0].get("s"), Some(&Value::Int(5)));
+    }
+
+    #[test]
+    fn sort_skip_limit_project() {
+        let rows = aggregate(
+            &submissions(),
+            &[
+                Stage::Match(doc! { "success" => true }),
+                Stage::Sort("secs".into(), SortOrder::Desc),
+                Stage::Skip(1),
+                Stage::Limit(2),
+                Stage::Project(vec!["team".into(), "secs".into()]),
+            ],
+        );
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("secs"), Some(&Value::Float(1.1)));
+        assert_eq!(rows[0].len(), 2, "projection dropped other fields");
+    }
+
+    #[test]
+    fn push_and_first() {
+        let rows = aggregate(
+            &submissions(),
+            &[Stage::Group {
+                by: Some("worker".into()),
+                fields: vec![
+                    ("teams".into(), Accumulator::Push("team".into())),
+                    ("first_team".into(), Accumulator::First("team".into())),
+                ],
+            }],
+        );
+        assert_eq!(rows.len(), 2);
+        let w0 = &rows[0];
+        assert_eq!(w0.get("_id"), Some(&Value::from("w0")));
+        assert_eq!(
+            w0.get("teams"),
+            Some(&Value::Array(vec!["a".into(), "a".into(), "b".into()]))
+        );
+        assert_eq!(w0.get("first_team"), Some(&Value::from("a")));
+    }
+
+    #[test]
+    fn missing_fields_and_empty_inputs() {
+        let rows = aggregate(
+            &submissions(),
+            &[
+                Stage::Match(doc! { "team" => "c" }),
+                Stage::Group {
+                    by: Some("team".into()),
+                    fields: vec![("avg".into(), Accumulator::Avg("secs".into()))],
+                },
+            ],
+        );
+        assert_eq!(rows[0].get("avg"), Some(&Value::Null), "no numeric inputs");
+        // Empty collection → empty output, no panics.
+        assert!(aggregate(&Collection::new(), &[Stage::Limit(5)]).is_empty());
+    }
+
+    #[test]
+    fn numeric_keys_unify_across_types() {
+        let mut c = Collection::new();
+        c.insert_many([doc! { "k" => 1, "v" => 1 }, doc! { "k" => 1.0, "v" => 2 }]);
+        let rows = aggregate_docs(
+            c.find(&Document::new()),
+            &[Stage::Group {
+                by: Some("k".into()),
+                fields: vec![("n".into(), Accumulator::Count)],
+            }],
+        );
+        assert_eq!(rows.len(), 1, "Int(1) and Float(1.0) share a bucket");
+        assert_eq!(rows[0].get("n"), Some(&Value::Int(2)));
+    }
+}

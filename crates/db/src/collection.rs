@@ -1,0 +1,552 @@
+//! Collections: document storage, CRUD, cursors, and the (small) query
+//! planner that routes eligible predicates through secondary indexes.
+
+use crate::index::Index;
+use crate::query::matches;
+use crate::update::apply_update;
+use crate::value::{Document, Value};
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound;
+
+/// Document identifier (stored in the document as `_id`).
+pub type DocId = u64;
+
+/// Sort direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SortOrder {
+    /// Ascending (smallest first) — ranking by runtime.
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+/// Cursor options for [`Collection::find_with`].
+#[derive(Clone, Debug, Default)]
+pub struct FindOptions {
+    /// Sort by this dotted path.
+    pub sort_by: Option<(String, SortOrder)>,
+    /// Skip this many results (after sort).
+    pub skip: usize,
+    /// Return at most this many results.
+    pub limit: Option<usize>,
+}
+
+impl FindOptions {
+    /// Sort ascending by `field`.
+    pub fn sort_asc(field: &str) -> Self {
+        FindOptions {
+            sort_by: Some((field.to_string(), SortOrder::Asc)),
+            ..Default::default()
+        }
+    }
+
+    /// Sort descending by `field`.
+    pub fn sort_desc(field: &str) -> Self {
+        FindOptions {
+            sort_by: Some((field.to_string(), SortOrder::Desc)),
+            ..Default::default()
+        }
+    }
+
+    /// Set a limit.
+    pub fn limit(mut self, n: usize) -> Self {
+        self.limit = Some(n);
+        self
+    }
+
+    /// Set a skip.
+    pub fn skip(mut self, n: usize) -> Self {
+        self.skip = n;
+        self
+    }
+}
+
+/// Result of an update call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UpdateResult {
+    /// Documents matching the query.
+    pub matched: usize,
+    /// Documents actually changed.
+    pub modified: usize,
+    /// Id of a document inserted by upsert, if any.
+    pub upserted: Option<DocId>,
+}
+
+/// An in-memory document collection.
+#[derive(Default)]
+pub struct Collection {
+    docs: BTreeMap<DocId, Document>,
+    next_id: DocId,
+    indexes: HashMap<String, Index>,
+}
+
+impl Collection {
+    /// An empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Insert a document, assigning and returning its `_id`.
+    pub fn insert_one(&mut self, mut doc: Document) -> DocId {
+        self.next_id += 1;
+        let id = self.next_id;
+        doc.insert("_id", id);
+        for (field, idx) in self.indexes.iter_mut() {
+            if let Some(v) = doc.get_path(field) {
+                idx.insert(v, id);
+            }
+        }
+        self.docs.insert(id, doc);
+        id
+    }
+
+    /// Insert many documents.
+    pub fn insert_many(&mut self, docs: impl IntoIterator<Item = Document>) -> Vec<DocId> {
+        docs.into_iter().map(|d| self.insert_one(d)).collect()
+    }
+
+    /// Build a secondary index on a dotted path (also indexes existing
+    /// documents). Re-creating an existing index is a no-op.
+    pub fn create_index(&mut self, field: &str) {
+        if self.indexes.contains_key(field) {
+            return;
+        }
+        let mut idx = Index::new();
+        for (id, doc) in &self.docs {
+            if let Some(v) = doc.get_path(field) {
+                idx.insert(v, *id);
+            }
+        }
+        self.indexes.insert(field.to_string(), idx);
+    }
+
+    /// Whether `field` has an index.
+    pub fn has_index(&self, field: &str) -> bool {
+        self.indexes.contains_key(field)
+    }
+
+    /// Ids of candidate documents for `query`, via an index if one
+    /// applies; `None` means "no usable index — scan everything".
+    fn candidates(&self, query: &Document) -> Option<Vec<DocId>> {
+        for (field, cond) in query.iter() {
+            if field.starts_with('$') {
+                continue;
+            }
+            let Some(idx) = self.indexes.get(field) else {
+                continue;
+            };
+            match cond {
+                // Implicit equality on a scalar literal.
+                Value::Doc(ops) if ops.iter().all(|(k, _)| k.starts_with('$')) && !ops.is_empty() => {
+                    if let Some(eq) = ops.get("$eq") {
+                        return Some(idx.lookup_eq(eq));
+                    }
+                    let mut lo: Bound<&Value> = Bound::Unbounded;
+                    let mut hi: Bound<&Value> = Bound::Unbounded;
+                    let mut usable = false;
+                    for (op, operand) in ops.iter() {
+                        match op.as_str() {
+                            "$gt" => {
+                                lo = Bound::Excluded(operand);
+                                usable = true;
+                            }
+                            "$gte" => {
+                                lo = Bound::Included(operand);
+                                usable = true;
+                            }
+                            "$lt" => {
+                                hi = Bound::Excluded(operand);
+                                usable = true;
+                            }
+                            "$lte" => {
+                                hi = Bound::Included(operand);
+                                usable = true;
+                            }
+                            _ => {}
+                        }
+                    }
+                    if usable {
+                        return Some(idx.lookup_range(lo, hi));
+                    }
+                }
+                literal => return Some(idx.lookup_eq(literal)),
+            }
+        }
+        None
+    }
+
+    /// All documents matching `query`, in `_id` order.
+    pub fn find(&self, query: &Document) -> Vec<Document> {
+        match self.candidates(query) {
+            Some(mut ids) => {
+                ids.sort_unstable();
+                ids.iter()
+                    .filter_map(|id| self.docs.get(id))
+                    .filter(|d| matches(query, d))
+                    .cloned()
+                    .collect()
+            }
+            None => self
+                .docs
+                .values()
+                .filter(|d| matches(query, d))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// First matching document.
+    pub fn find_one(&self, query: &Document) -> Option<Document> {
+        match self.candidates(query) {
+            Some(mut ids) => {
+                ids.sort_unstable();
+                ids.iter()
+                    .filter_map(|id| self.docs.get(id))
+                    .find(|d| matches(query, d))
+                    .cloned()
+            }
+            None => self.docs.values().find(|d| matches(query, d)).cloned(),
+        }
+    }
+
+    /// Find with sort/skip/limit. Missing sort fields order first
+    /// (as `Null`).
+    pub fn find_with(&self, query: &Document, opts: &FindOptions) -> Vec<Document> {
+        let mut results = self.find(query);
+        if let Some((field, order)) = &opts.sort_by {
+            results.sort_by(|a, b| {
+                let null = Value::Null;
+                let va = a.get_path(field).unwrap_or(&null);
+                let vb = b.get_path(field).unwrap_or(&null);
+                let ord = va.cmp_order(vb);
+                match order {
+                    SortOrder::Asc => ord,
+                    SortOrder::Desc => ord.reverse(),
+                }
+            });
+        }
+        results
+            .into_iter()
+            .skip(opts.skip)
+            .take(opts.limit.unwrap_or(usize::MAX))
+            .collect()
+    }
+
+    /// Count matching documents.
+    pub fn count(&self, query: &Document) -> usize {
+        match self.candidates(query) {
+            Some(ids) => ids
+                .iter()
+                .filter_map(|id| self.docs.get(id))
+                .filter(|d| matches(query, d))
+                .count(),
+            None => self.docs.values().filter(|d| matches(query, d)).count(),
+        }
+    }
+
+    /// Distinct values of `field` among matching documents.
+    pub fn distinct(&self, field: &str, query: &Document) -> Vec<Value> {
+        let mut out: Vec<Value> = Vec::new();
+        for d in self.docs.values().filter(|d| matches(query, d)) {
+            if let Some(v) = d.get_path(field) {
+                if !out.iter().any(|x| x.eq_loose(v)) {
+                    out.push(v.clone());
+                }
+            }
+        }
+        out.sort_by(|a, b| a.cmp_order(b));
+        out
+    }
+
+    fn reindex(&mut self, id: DocId, before: &Document, after: &Document) {
+        for (field, idx) in self.indexes.iter_mut() {
+            let old = before.get_path(field);
+            let new = after.get_path(field);
+            if old != new {
+                if let Some(v) = old {
+                    idx.remove(v, id);
+                }
+                if let Some(v) = new {
+                    idx.insert(v, id);
+                }
+            }
+        }
+    }
+
+    /// Update every matching document.
+    pub fn update_many(&mut self, query: &Document, update: &Document) -> UpdateResult {
+        let ids: Vec<DocId> = match self.candidates(query) {
+            Some(ids) => ids
+                .into_iter()
+                .filter(|id| self.docs.get(id).is_some_and(|d| matches(query, d)))
+                .collect(),
+            None => self
+                .docs
+                .iter()
+                .filter(|(_, d)| matches(query, d))
+                .map(|(id, _)| *id)
+                .collect(),
+        };
+        let mut res = UpdateResult {
+            matched: ids.len(),
+            ..Default::default()
+        };
+        for id in ids {
+            let doc = self.docs.get_mut(&id).expect("id listed above");
+            let before = doc.clone();
+            if apply_update(update, doc) {
+                res.modified += 1;
+                let after = doc.clone();
+                self.reindex(id, &before, &after);
+            }
+        }
+        res
+    }
+
+    /// Update the first matching document; optionally insert when
+    /// nothing matches (upsert). On upsert the query's literal equality
+    /// fields seed the new document — this is how RAI's ranking table
+    /// does "overwrite existing timing records" per team.
+    pub fn update_one(&mut self, query: &Document, update: &Document, upsert: bool) -> UpdateResult {
+        let id = match self.candidates(query) {
+            Some(mut ids) => {
+                ids.sort_unstable();
+                ids.into_iter()
+                    .find(|id| self.docs.get(id).is_some_and(|d| matches(query, d)))
+            }
+            None => self
+                .docs
+                .iter()
+                .find(|(_, d)| matches(query, d))
+                .map(|(id, _)| *id),
+        };
+        match id {
+            Some(id) => {
+                let doc = self.docs.get_mut(&id).expect("id found above");
+                let before = doc.clone();
+                let modified = apply_update(update, doc);
+                if modified {
+                    let after = doc.clone();
+                    self.reindex(id, &before, &after);
+                }
+                UpdateResult {
+                    matched: 1,
+                    modified: usize::from(modified),
+                    upserted: None,
+                }
+            }
+            None if upsert => {
+                let mut seed = Document::new();
+                for (k, v) in query.iter() {
+                    if !k.starts_with('$') && !matches!(v, Value::Doc(_)) {
+                        seed.insert(k.clone(), v.clone());
+                    }
+                }
+                apply_update(update, &mut seed);
+                let id = self.insert_one(seed);
+                UpdateResult {
+                    matched: 0,
+                    modified: 0,
+                    upserted: Some(id),
+                }
+            }
+            None => UpdateResult::default(),
+        }
+    }
+
+    /// Delete every matching document; returns how many were removed.
+    pub fn delete_many(&mut self, query: &Document) -> usize {
+        let ids: Vec<DocId> = self
+            .docs
+            .iter()
+            .filter(|(_, d)| matches(query, d))
+            .map(|(id, _)| *id)
+            .collect();
+        for id in &ids {
+            if let Some(doc) = self.docs.remove(id) {
+                for (field, idx) in self.indexes.iter_mut() {
+                    if let Some(v) = doc.get_path(field) {
+                        idx.remove(v, *id);
+                    }
+                }
+            }
+        }
+        ids.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doc;
+
+    fn rankings() -> Collection {
+        let mut c = Collection::new();
+        c.insert_many([
+            doc! { "team" => "a", "runtime" => 0.45, "final" => true },
+            doc! { "team" => "b", "runtime" => 0.91, "final" => true },
+            doc! { "team" => "c", "runtime" => 0.48, "final" => false },
+            doc! { "team" => "d", "runtime" => 120.0, "final" => true },
+        ]);
+        c
+    }
+
+    #[test]
+    fn insert_assigns_ids() {
+        let mut c = Collection::new();
+        let id1 = c.insert_one(doc! { "x" => 1 });
+        let id2 = c.insert_one(doc! { "x" => 2 });
+        assert_ne!(id1, id2);
+        assert_eq!(c.len(), 2);
+        let d = c.find_one(&doc! { "x" => 1 }).unwrap();
+        assert_eq!(d.get("_id"), Some(&Value::Int(id1 as i64)));
+    }
+
+    #[test]
+    fn find_and_count() {
+        let c = rankings();
+        assert_eq!(c.find(&doc! { "final" => true }).len(), 3);
+        assert_eq!(c.count(&doc! { "runtime" => doc!{ "$lt" => 1.0 } }), 3);
+        assert_eq!(c.count(&Document::new()), 4);
+    }
+
+    #[test]
+    fn sorted_ranking_query() {
+        let c = rankings();
+        let top: Vec<String> = c
+            .find_with(
+                &doc! { "final" => true },
+                &FindOptions::sort_asc("runtime").limit(2),
+            )
+            .into_iter()
+            .map(|d| d.get("team").unwrap().as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(top, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn skip_and_desc() {
+        let c = rankings();
+        let second_slowest = c.find_with(&Document::new(), &FindOptions::sort_desc("runtime").skip(1).limit(1));
+        assert_eq!(second_slowest[0].get("team").unwrap().as_str(), Some("b"));
+    }
+
+    #[test]
+    fn update_many_and_modified_counts() {
+        let mut c = rankings();
+        let res = c.update_many(
+            &doc! { "final" => true },
+            &doc! { "$set" => doc!{ "graded" => false } },
+        );
+        assert_eq!(res.matched, 3);
+        assert_eq!(res.modified, 3);
+        // Second time: matched but nothing changes.
+        let res2 = c.update_many(
+            &doc! { "final" => true },
+            &doc! { "$set" => doc!{ "graded" => false } },
+        );
+        assert_eq!(res2.matched, 3);
+        assert_eq!(res2.modified, 0);
+    }
+
+    #[test]
+    fn upsert_ranking_overwrite() {
+        let mut c = Collection::new();
+        // First final submission creates the row…
+        let r1 = c.update_one(
+            &doc! { "team" => "x" },
+            &doc! { "$set" => doc!{ "runtime" => 1.9 } },
+            true,
+        );
+        assert!(r1.upserted.is_some());
+        // …later submissions overwrite it (paper: "overwrites existing
+        // timing records").
+        let r2 = c.update_one(
+            &doc! { "team" => "x" },
+            &doc! { "$set" => doc!{ "runtime" => 0.7 } },
+            true,
+        );
+        assert_eq!(r2.matched, 1);
+        assert_eq!(c.len(), 1);
+        assert_eq!(
+            c.find_one(&doc! { "team" => "x" }).unwrap().get("runtime"),
+            Some(&Value::Float(0.7))
+        );
+    }
+
+    #[test]
+    fn delete_many() {
+        let mut c = rankings();
+        assert_eq!(c.delete_many(&doc! { "final" => false }), 1);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.delete_many(&Document::new()), 3);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn distinct_values() {
+        let c = rankings();
+        let finals = c.distinct("final", &Document::new());
+        assert_eq!(finals, vec![Value::Bool(false), Value::Bool(true)]);
+    }
+
+    #[test]
+    fn index_results_equal_scan_results() {
+        let mut with_idx = rankings();
+        with_idx.create_index("runtime");
+        let without_idx = rankings();
+        for q in [
+            doc! { "runtime" => doc!{ "$lt" => 1.0 } },
+            doc! { "runtime" => doc!{ "$gte" => 0.48, "$lte" => 130.0 } },
+            doc! { "runtime" => 0.45 },
+            doc! { "runtime" => doc!{ "$gt" => 200.0 } },
+        ] {
+            let a = with_idx.find(&q);
+            let b = without_idx.find(&q);
+            assert_eq!(a, b, "index vs scan mismatch for {q}");
+        }
+    }
+
+    #[test]
+    fn index_maintained_through_updates_and_deletes() {
+        let mut c = rankings();
+        c.create_index("runtime");
+        c.update_one(
+            &doc! { "team" => "a" },
+            &doc! { "$set" => doc!{ "runtime" => 5.0 } },
+            false,
+        );
+        assert_eq!(c.count(&doc! { "runtime" => doc!{ "$lt" => 1.0 } }), 2);
+        assert_eq!(c.count(&doc! { "runtime" => 5.0 }), 1);
+        c.delete_many(&doc! { "team" => "a" });
+        assert_eq!(c.count(&doc! { "runtime" => 5.0 }), 0);
+    }
+
+    #[test]
+    fn create_index_on_existing_data() {
+        let mut c = rankings();
+        c.create_index("team");
+        assert!(c.has_index("team"));
+        assert_eq!(c.find(&doc! { "team" => "b" }).len(), 1);
+        // Recreating is a no-op.
+        c.create_index("team");
+    }
+
+    #[test]
+    fn update_one_without_upsert_misses() {
+        let mut c = Collection::new();
+        let r = c.update_one(&doc! { "team" => "ghost" }, &doc! { "$set" => doc!{ "x" => 1 } }, false);
+        assert_eq!(r, UpdateResult::default());
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,99 @@
+//! The thread-safe database handle: named collections behind RwLocks.
+
+use crate::collection::Collection;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A handle to a database of named collections. Cloning shares state.
+#[derive(Clone, Default)]
+pub struct Database {
+    collections: Arc<RwLock<BTreeMap<String, Arc<RwLock<Collection>>>>>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get (creating on first use) a collection handle. Lock it with
+    /// `.read()` / `.write()` for queries and mutations.
+    pub fn collection(&self, name: &str) -> Arc<RwLock<Collection>> {
+        if let Some(c) = self.collections.read().get(name) {
+            return c.clone();
+        }
+        self.collections
+            .write()
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(RwLock::new(Collection::new())))
+            .clone()
+    }
+
+    /// Collection names, sorted.
+    pub fn collection_names(&self) -> Vec<String> {
+        self.collections.read().keys().cloned().collect()
+    }
+
+    /// Drop a collection; returns whether it existed.
+    pub fn drop_collection(&self, name: &str) -> bool {
+        self.collections.write().remove(name).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{doc, Value};
+
+    #[test]
+    fn collections_auto_create_and_share() {
+        let db = Database::new();
+        db.collection("submissions").write().insert_one(doc! { "n" => 1 });
+        let db2 = db.clone();
+        assert_eq!(db2.collection("submissions").read().len(), 1);
+        assert_eq!(db.collection_names(), vec!["submissions"]);
+    }
+
+    #[test]
+    fn drop_collection() {
+        let db = Database::new();
+        db.collection("tmp");
+        assert!(db.drop_collection("tmp"));
+        assert!(!db.drop_collection("tmp"));
+        assert!(db.collection_names().is_empty());
+    }
+
+    #[test]
+    fn concurrent_writers_distinct_collections() {
+        let db = Database::new();
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let db = db.clone();
+            handles.push(std::thread::spawn(move || {
+                let coll = db.collection(&format!("c{}", t % 2));
+                for i in 0..100 {
+                    coll.write().insert_one(doc! { "t" => t, "i" => i });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total: usize = db
+            .collection_names()
+            .iter()
+            .map(|n| db.collection(n).read().len())
+            .sum();
+        assert_eq!(total, 800);
+    }
+
+    #[test]
+    fn readers_see_writer_results() {
+        let db = Database::new();
+        let coll = db.collection("rankings");
+        coll.write().insert_one(doc! { "team" => "x", "runtime" => 0.5 });
+        let found = coll.read().find_one(&doc! { "team" => "x" }).unwrap();
+        assert_eq!(found.get("runtime"), Some(&Value::Float(0.5)));
+    }
+}

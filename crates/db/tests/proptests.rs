@@ -1,0 +1,131 @@
+//! Property tests for the document database: the query planner must be
+//! invisible (index results ≡ scan results), updates must do what they
+//! say, and sorting must respect the value order.
+
+use proptest::prelude::*;
+use rai_db::{doc, Collection, Document, FindOptions, Value};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-1000i64..1000).prop_map(Value::Int),
+        (-100.0f64..100.0).prop_map(Value::Float),
+        "[a-z]{0,6}".prop_map(Value::Str),
+    ]
+}
+
+fn arb_doc() -> impl Strategy<Value = Document> {
+    // Fixed small field universe so queries actually hit.
+    prop::collection::vec(
+        (prop_oneof![Just("a"), Just("b"), Just("c"), Just("d")], arb_value()),
+        0..5,
+    )
+    .prop_map(|fields| {
+        let mut d = Document::new();
+        for (k, v) in fields {
+            d.insert(k, v);
+        }
+        d
+    })
+}
+
+/// A random query over the same field universe: literal equality or a
+/// single range operator.
+fn arb_query() -> impl Strategy<Value = Document> {
+    (
+        prop_oneof![Just("a"), Just("b"), Just("c")],
+        prop_oneof![
+            Just("$eq"),
+            Just("$ne"),
+            Just("$lt"),
+            Just("$lte"),
+            Just("$gt"),
+            Just("$gte")
+        ],
+        arb_value(),
+    )
+        .prop_map(|(field, op, operand)| doc! { field => doc!{ op => operand } })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn index_and_scan_agree(docs in prop::collection::vec(arb_doc(), 0..40), query in arb_query()) {
+        let mut plain = Collection::new();
+        let mut indexed = Collection::new();
+        for d in &docs {
+            plain.insert_one(d.clone());
+            indexed.insert_one(d.clone());
+        }
+        for field in ["a", "b", "c"] {
+            indexed.create_index(field);
+        }
+        prop_assert_eq!(plain.find(&query), indexed.find(&query));
+        prop_assert_eq!(plain.count(&query), indexed.count(&query));
+        prop_assert_eq!(plain.find_one(&query), indexed.find_one(&query));
+    }
+
+    #[test]
+    fn index_stays_consistent_under_updates(
+        docs in prop::collection::vec(arb_doc(), 1..25),
+        new_val in arb_value(),
+        query in arb_query(),
+    ) {
+        let mut plain = Collection::new();
+        let mut indexed = Collection::new();
+        for d in &docs {
+            plain.insert_one(d.clone());
+            indexed.insert_one(d.clone());
+        }
+        indexed.create_index("a");
+        let update = doc! { "$set" => doc!{ "a" => new_val } };
+        let r1 = plain.update_many(&query, &update);
+        let r2 = indexed.update_many(&query, &update);
+        prop_assert_eq!(r1, r2);
+        // After mutation, queries still agree.
+        let probe = doc! { "a" => doc!{ "$exists" => true } };
+        prop_assert_eq!(plain.find(&probe), indexed.find(&probe));
+    }
+
+    #[test]
+    fn set_then_get_returns_value(mut d in arb_doc(), v in arb_value()) {
+        rai_db::apply_update(&doc! { "$set" => doc!{ "probe" => v.clone() } }, &mut d);
+        prop_assert_eq!(d.get("probe"), Some(&v));
+    }
+
+    #[test]
+    fn sort_is_ordered_and_complete(docs in prop::collection::vec(arb_doc(), 0..30)) {
+        let mut c = Collection::new();
+        let n = docs.len();
+        for d in docs {
+            c.insert_one(d);
+        }
+        let sorted = c.find_with(&Document::new(), &FindOptions::sort_asc("a"));
+        prop_assert_eq!(sorted.len(), n);
+        let null = Value::Null;
+        for w in sorted.windows(2) {
+            let x = w[0].get("a").unwrap_or(&null);
+            let y = w[1].get("a").unwrap_or(&null);
+            prop_assert_ne!(x.cmp_order(y), std::cmp::Ordering::Greater);
+        }
+    }
+
+    #[test]
+    fn delete_then_count_zero(docs in prop::collection::vec(arb_doc(), 0..30), query in arb_query()) {
+        let mut c = Collection::new();
+        for d in docs {
+            c.insert_one(d);
+        }
+        let before = c.count(&query);
+        let removed = c.delete_many(&query);
+        prop_assert_eq!(before, removed);
+        prop_assert_eq!(c.count(&query), 0);
+    }
+
+    #[test]
+    fn matches_never_panics(d in arb_doc(), q in arb_doc()) {
+        let _ = rai_db::matches(&q, &d);
+    }
+}

@@ -1,0 +1,29 @@
+//! # rai-sim — discrete-event simulation substrate
+//!
+//! The paper evaluates RAI on a real AWS deployment over a five-week
+//! course project. This crate provides the virtual-time substrate that
+//! lets the reproduction run an entire semester of submissions in
+//! milliseconds, deterministically:
+//!
+//! * [`time`] — [`SimTime`]/[`SimDuration`], millisecond-resolution
+//!   virtual timestamps with calendar-ish helpers (hours, days, weeks).
+//! * [`clock`] — [`VirtualClock`], a shared monotonically advancing
+//!   clock used by components that only need "what time is it?"
+//!   (object-store lifecycle expiry, rate limiters, container deadlines).
+//! * [`engine`] — a classic event-calendar discrete-event engine:
+//!   schedule closures at future instants, run to quiescence or a
+//!   horizon.
+//! * [`stats`] — the small statistics toolkit used by the benchmark
+//!   harness: online mean/variance, fixed-width histograms (paper
+//!   Fig. 2), time-bucketed series (paper Fig. 4) and percentile
+//!   summaries.
+
+pub mod clock;
+pub mod engine;
+pub mod stats;
+pub mod time;
+
+pub use clock::VirtualClock;
+pub use engine::{EventId, Scheduler, Simulation};
+pub use stats::{Histogram, OnlineStats, Percentiles, TimeSeries};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,26 @@
+//! # rai-store — the file server (paper §IV "File Storage Server")
+//!
+//! RAI uploads every submitted project directory to a file server
+//! (Amazon S3 in the paper's deployment) and uploads each job's `/build`
+//! output directory back to it; instructors bulk-download final
+//! submissions from the same place. "Files uploaded to the file server
+//! can be configured to have a particular lifetime after which they get
+//! deleted. The current lifetime is set between 1 and 3 months" — and
+//! client uploads are "deleted one month after the last use".
+//!
+//! This crate is an in-process object store with those semantics:
+//!
+//! * buckets and keys, opaque byte payloads, user metadata;
+//! * FNV-1a etags computed on upload (matching `rai_archive::Bundle`);
+//! * per-bucket lifecycle rules — expire N after creation or N after
+//!   last access — evaluated against the shared [`rai_sim::VirtualClock`];
+//! * usage accounting (bytes stored / uploaded / downloaded, object
+//!   counts) backing the paper's §VII storage numbers.
+
+pub mod lifecycle;
+pub mod object;
+pub mod store;
+
+pub use lifecycle::LifecycleRule;
+pub use object::{ObjectMeta, StoredObject};
+pub use store::{ObjectStore, StoreError, StoreUsage};

@@ -1,0 +1,56 @@
+//! Stored-object model.
+
+use bytes::Bytes;
+use rai_sim::SimTime;
+use std::collections::BTreeMap;
+
+/// Metadata about a stored object, returned by `head`/`list`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ObjectMeta {
+    /// Key within its bucket.
+    pub key: String,
+    /// Payload size in bytes.
+    pub size: u64,
+    /// FNV-1a etag of the payload.
+    pub etag: String,
+    /// Upload time.
+    pub uploaded_at: SimTime,
+    /// Last get/put time (drives last-use lifecycle rules).
+    pub last_used: SimTime,
+    /// User-supplied metadata (e.g. `team`, `submission=final`).
+    pub user: BTreeMap<String, String>,
+}
+
+/// An object plus its payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoredObject {
+    /// Metadata.
+    pub meta: ObjectMeta,
+    /// Payload.
+    pub data: Bytes,
+}
+
+pub(crate) fn etag_of(data: &[u8]) -> String {
+    // Same construction as rai_archive::fnv::etag, duplicated to keep the
+    // store substrate dependency-free of the archive crate.
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    format!("{h:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn etag_is_fnv1a_hex() {
+        assert_eq!(etag_of(b""), format!("{:016x}", 0xcbf2_9ce4_8422_2325u64));
+        assert_ne!(etag_of(b"a"), etag_of(b"b"));
+        assert_eq!(etag_of(b"abc").len(), 16);
+    }
+}

@@ -1,0 +1,586 @@
+//! The object store: buckets, CRUD, lifecycle sweeps and usage
+//! accounting. Thread-safe and cheaply cloneable (clones share state),
+//! like every live RAI data-plane component.
+
+use crate::lifecycle::LifecycleRule;
+use crate::object::{etag_of, ObjectMeta, StoredObject};
+use bytes::Bytes;
+use parking_lot::RwLock;
+use rai_sim::VirtualClock;
+#[cfg(test)]
+use rai_sim::SimTime;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Store errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// Bucket does not exist.
+    NoSuchBucket(String),
+    /// Key does not exist in the bucket.
+    NoSuchKey { bucket: String, key: String },
+    /// Bucket already exists (create).
+    BucketExists(String),
+    /// A presigned URL failed validation (expired or tampered).
+    BadPresignedUrl,
+    /// Transient service failure (injected by tests/chaos runs; S3
+    /// returns 503s under load and RAI must degrade gracefully).
+    Unavailable,
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::NoSuchBucket(b) => write!(f, "no such bucket: {b}"),
+            StoreError::NoSuchKey { bucket, key } => write!(f, "no such key: {bucket}/{key}"),
+            StoreError::BucketExists(b) => write!(f, "bucket exists: {b}"),
+            StoreError::Unavailable => write!(f, "file server temporarily unavailable"),
+            StoreError::BadPresignedUrl => write!(f, "presigned URL is expired or invalid"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+struct BucketState {
+    rule: LifecycleRule,
+    objects: BTreeMap<String, StoredObject>,
+}
+
+#[derive(Default)]
+struct Counters {
+    bytes_uploaded: u64,
+    bytes_downloaded: u64,
+    puts: u64,
+    gets: u64,
+    deletes: u64,
+    expired: u64,
+}
+
+struct StoreInner {
+    clock: VirtualClock,
+    /// Secret for presigned-URL signatures (per store instance).
+    presign_secret: u64,
+    buckets: RwLock<BTreeMap<String, BucketState>>,
+    counters: RwLock<Counters>,
+    /// Remaining operations that should fail (fault injection).
+    faults: std::sync::atomic::AtomicU64,
+}
+
+/// Cumulative usage snapshot — backs the paper's §VII resource-usage
+/// numbers ("the file server held 100GB of data for 176 students").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreUsage {
+    /// Bytes currently resident.
+    pub bytes_stored: u64,
+    /// Objects currently resident.
+    pub objects: u64,
+    /// Total bytes ever uploaded.
+    pub bytes_uploaded: u64,
+    /// Total bytes ever served.
+    pub bytes_downloaded: u64,
+    /// Put operations.
+    pub puts: u64,
+    /// Get operations.
+    pub gets: u64,
+    /// Explicit deletes.
+    pub deletes: u64,
+    /// Objects removed by lifecycle sweeps.
+    pub expired: u64,
+}
+
+/// The S3-like object store.
+#[derive(Clone)]
+pub struct ObjectStore {
+    inner: Arc<StoreInner>,
+}
+
+/// Per-instance presign secret: a process-unique counter diffused
+/// through the splitmix64 finalizer.
+fn next_presign_secret() -> u64 {
+    static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0x5241_4953);
+    let mut z = COUNTER.fetch_add(0x9E37_79B9_7F4A_7C15, std::sync::atomic::Ordering::Relaxed);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl ObjectStore {
+    /// A store reading time from `clock`.
+    pub fn new(clock: VirtualClock) -> Self {
+        ObjectStore {
+            inner: Arc::new(StoreInner {
+                presign_secret: next_presign_secret(),
+                clock,
+                buckets: RwLock::new(BTreeMap::new()),
+                counters: RwLock::new(Counters::default()),
+                faults: std::sync::atomic::AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Create a bucket with a lifecycle rule.
+    pub fn create_bucket(&self, name: &str, rule: LifecycleRule) -> Result<(), StoreError> {
+        let mut buckets = self.inner.buckets.write();
+        if buckets.contains_key(name) {
+            return Err(StoreError::BucketExists(name.to_string()));
+        }
+        buckets.insert(
+            name.to_string(),
+            BucketState {
+                rule,
+                objects: BTreeMap::new(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Whether a bucket exists.
+    pub fn has_bucket(&self, name: &str) -> bool {
+        self.inner.buckets.read().contains_key(name)
+    }
+
+    /// Make the next `n` data operations (put/get) fail with
+    /// [`StoreError::Unavailable`] — chaos testing for the paper's
+    /// "robust to failures" requirement.
+    pub fn inject_faults(&self, n: u64) {
+        self.inner
+            .faults
+            .store(n, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    fn take_fault(&self) -> bool {
+        self.inner
+            .faults
+            .fetch_update(
+                std::sync::atomic::Ordering::SeqCst,
+                std::sync::atomic::Ordering::SeqCst,
+                |n| n.checked_sub(1),
+            )
+            .is_ok()
+    }
+
+    /// Upload (or overwrite) an object; returns its etag.
+    pub fn put(
+        &self,
+        bucket: &str,
+        key: &str,
+        data: impl Into<Bytes>,
+        user_meta: impl IntoIterator<Item = (String, String)>,
+    ) -> Result<String, StoreError> {
+        if self.take_fault() {
+            return Err(StoreError::Unavailable);
+        }
+        let data = data.into();
+        let now = self.inner.clock.now();
+        let etag = etag_of(&data);
+        let mut buckets = self.inner.buckets.write();
+        let b = buckets
+            .get_mut(bucket)
+            .ok_or_else(|| StoreError::NoSuchBucket(bucket.to_string()))?;
+        let size = data.len() as u64;
+        let prev_size = b.objects.get(key).map(|o| o.meta.size).unwrap_or(0);
+        let _ = prev_size;
+        b.objects.insert(
+            key.to_string(),
+            StoredObject {
+                meta: ObjectMeta {
+                    key: key.to_string(),
+                    size,
+                    etag: etag.clone(),
+                    uploaded_at: now,
+                    last_used: now,
+                    user: user_meta.into_iter().collect(),
+                },
+                data,
+            },
+        );
+        drop(buckets);
+        let mut c = self.inner.counters.write();
+        c.puts += 1;
+        c.bytes_uploaded += size;
+        Ok(etag)
+    }
+
+    /// Download an object. Refreshes its `last_used` stamp (which is what
+    /// makes the paper's "one month after the last use" policy work).
+    pub fn get(&self, bucket: &str, key: &str) -> Result<StoredObject, StoreError> {
+        if self.take_fault() {
+            return Err(StoreError::Unavailable);
+        }
+        let now = self.inner.clock.now();
+        let mut buckets = self.inner.buckets.write();
+        let b = buckets
+            .get_mut(bucket)
+            .ok_or_else(|| StoreError::NoSuchBucket(bucket.to_string()))?;
+        let obj = b.objects.get_mut(key).ok_or_else(|| StoreError::NoSuchKey {
+            bucket: bucket.to_string(),
+            key: key.to_string(),
+        })?;
+        obj.meta.last_used = now;
+        let out = obj.clone();
+        drop(buckets);
+        let mut c = self.inner.counters.write();
+        c.gets += 1;
+        c.bytes_downloaded += out.meta.size;
+        Ok(out)
+    }
+
+    /// Metadata only, without touching `last_used`.
+    pub fn head(&self, bucket: &str, key: &str) -> Result<ObjectMeta, StoreError> {
+        let buckets = self.inner.buckets.read();
+        let b = buckets
+            .get(bucket)
+            .ok_or_else(|| StoreError::NoSuchBucket(bucket.to_string()))?;
+        b.objects
+            .get(key)
+            .map(|o| o.meta.clone())
+            .ok_or_else(|| StoreError::NoSuchKey {
+                bucket: bucket.to_string(),
+                key: key.to_string(),
+            })
+    }
+
+    /// Delete an object.
+    pub fn delete(&self, bucket: &str, key: &str) -> Result<(), StoreError> {
+        let mut buckets = self.inner.buckets.write();
+        let b = buckets
+            .get_mut(bucket)
+            .ok_or_else(|| StoreError::NoSuchBucket(bucket.to_string()))?;
+        b.objects.remove(key).ok_or_else(|| StoreError::NoSuchKey {
+            bucket: bucket.to_string(),
+            key: key.to_string(),
+        })?;
+        drop(buckets);
+        self.inner.counters.write().deletes += 1;
+        Ok(())
+    }
+
+    /// List object metadata under a key prefix, in key order. The
+    /// instructor's "download all final submissions" tool drives this.
+    pub fn list(&self, bucket: &str, prefix: &str) -> Result<Vec<ObjectMeta>, StoreError> {
+        let buckets = self.inner.buckets.read();
+        let b = buckets
+            .get(bucket)
+            .ok_or_else(|| StoreError::NoSuchBucket(bucket.to_string()))?;
+        Ok(b.objects
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(_, o)| o.meta.clone())
+            .collect())
+    }
+
+    /// Create a presigned URL for `bucket/key`, valid until
+    /// `expires_at` (virtual time). This is what the worker actually
+    /// hands the client for the `/build` archive — downloadable without
+    /// credentials, like an S3 presigned GET.
+    pub fn presign(&self, bucket: &str, key: &str, expires_at: rai_sim::SimTime) -> String {
+        let sig = self.presign_signature(bucket, key, expires_at);
+        format!("rai-s3://{bucket}/{key}?expires={}&sig={sig:016x}", expires_at.as_millis())
+    }
+
+    fn presign_signature(&self, bucket: &str, key: &str, expires_at: rai_sim::SimTime) -> u64 {
+        // Keyed FNV-1a over (secret, bucket, key, expiry). Not
+        // cryptographic — matches the store's integrity-not-secrecy
+        // threat model; real deployments use SigV4.
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ self.inner.presign_secret;
+        for b in bucket
+            .as_bytes()
+            .iter()
+            .chain(&[0u8])
+            .chain(key.as_bytes())
+            .chain(&[0u8])
+            .chain(&expires_at.as_millis().to_le_bytes())
+        {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Fetch through a presigned URL, enforcing expiry and signature.
+    pub fn get_presigned(&self, url: &str) -> Result<StoredObject, StoreError> {
+        let rest = url.strip_prefix("rai-s3://").ok_or(StoreError::BadPresignedUrl)?;
+        let (path, query) = rest.split_once('?').ok_or(StoreError::BadPresignedUrl)?;
+        let (bucket, key) = path.split_once('/').ok_or(StoreError::BadPresignedUrl)?;
+        let mut expires = None;
+        let mut sig = None;
+        for pair in query.split('&') {
+            match pair.split_once('=') {
+                Some(("expires", v)) => expires = v.parse::<u64>().ok(),
+                Some(("sig", v)) => sig = u64::from_str_radix(v, 16).ok(),
+                _ => {}
+            }
+        }
+        let (Some(expires), Some(sig)) = (expires, sig) else {
+            return Err(StoreError::BadPresignedUrl);
+        };
+        let expires_at = rai_sim::SimTime::from_millis(expires);
+        if self.presign_signature(bucket, key, expires_at) != sig {
+            return Err(StoreError::BadPresignedUrl);
+        }
+        if self.inner.clock.now() > expires_at {
+            return Err(StoreError::BadPresignedUrl);
+        }
+        self.get(bucket, key)
+    }
+
+    /// Run a lifecycle sweep at the clock's current time; returns how
+    /// many objects were expired. A real deployment runs this daily.
+    pub fn sweep_lifecycle(&self) -> u64 {
+        let now = self.inner.clock.now();
+        let mut expired = 0u64;
+        let mut buckets = self.inner.buckets.write();
+        for b in buckets.values_mut() {
+            let rule = b.rule;
+            let doomed: Vec<String> = b
+                .objects
+                .iter()
+                .filter(|(_, o)| rule.is_expired(o.meta.uploaded_at, o.meta.last_used, now))
+                .map(|(k, _)| k.clone())
+                .collect();
+            for k in doomed {
+                b.objects.remove(&k);
+                expired += 1;
+            }
+        }
+        drop(buckets);
+        self.inner.counters.write().expired += expired;
+        expired
+    }
+
+    /// Usage snapshot.
+    pub fn usage(&self) -> StoreUsage {
+        let buckets = self.inner.buckets.read();
+        let mut bytes_stored = 0;
+        let mut objects = 0;
+        for b in buckets.values() {
+            for o in b.objects.values() {
+                bytes_stored += o.meta.size;
+                objects += 1;
+            }
+        }
+        drop(buckets);
+        let c = self.inner.counters.read();
+        StoreUsage {
+            bytes_stored,
+            objects,
+            bytes_uploaded: c.bytes_uploaded,
+            bytes_downloaded: c.bytes_downloaded,
+            puts: c.puts,
+            gets: c.gets,
+            deletes: c.deletes,
+            expired: c.expired,
+        }
+    }
+
+    /// The clock this store reads.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.inner.clock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rai_sim::SimDuration;
+
+    fn store() -> ObjectStore {
+        let s = ObjectStore::new(VirtualClock::new());
+        s.create_bucket("uploads", LifecycleRule::one_month_after_last_use())
+            .unwrap();
+        s.create_bucket("builds", LifecycleRule::AfterUpload(SimDuration::from_days(90)))
+            .unwrap();
+        s.create_bucket("keep", LifecycleRule::Keep).unwrap();
+        s
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let s = store();
+        let etag = s.put("uploads", "team1/proj.tar", &b"bytes"[..], []).unwrap();
+        let obj = s.get("uploads", "team1/proj.tar").unwrap();
+        assert_eq!(obj.data.as_ref(), b"bytes");
+        assert_eq!(obj.meta.etag, etag);
+        assert_eq!(obj.meta.size, 5);
+    }
+
+    #[test]
+    fn missing_bucket_and_key() {
+        let s = store();
+        assert!(matches!(
+            s.put("nope", "k", &b""[..], []),
+            Err(StoreError::NoSuchBucket(_))
+        ));
+        assert!(matches!(
+            s.get("uploads", "missing"),
+            Err(StoreError::NoSuchKey { .. })
+        ));
+        assert!(matches!(
+            s.delete("uploads", "missing"),
+            Err(StoreError::NoSuchKey { .. })
+        ));
+        assert!(matches!(
+            s.create_bucket("keep", LifecycleRule::Keep),
+            Err(StoreError::BucketExists(_))
+        ));
+    }
+
+    #[test]
+    fn overwrite_replaces_content() {
+        let s = store();
+        s.put("uploads", "k", &b"v1"[..], []).unwrap();
+        s.put("uploads", "k", &b"v2!"[..], []).unwrap();
+        assert_eq!(s.get("uploads", "k").unwrap().data.as_ref(), b"v2!");
+        assert_eq!(s.usage().objects, 1);
+        assert_eq!(s.usage().bytes_uploaded, 5, "uploads accumulate");
+        assert_eq!(s.usage().bytes_stored, 3, "stored reflects current");
+    }
+
+    #[test]
+    fn list_by_prefix_is_ordered() {
+        let s = store();
+        s.put("uploads", "team2/a", &b""[..], []).unwrap();
+        s.put("uploads", "team1/b", &b""[..], []).unwrap();
+        s.put("uploads", "team1/a", &b""[..], []).unwrap();
+        let keys: Vec<String> = s
+            .list("uploads", "team1/")
+            .unwrap()
+            .into_iter()
+            .map(|m| m.key)
+            .collect();
+        assert_eq!(keys, vec!["team1/a", "team1/b"]);
+        assert_eq!(s.list("uploads", "").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn user_metadata_preserved() {
+        let s = store();
+        s.put(
+            "uploads",
+            "k",
+            &b""[..],
+            [("team".to_string(), "rust".to_string())],
+        )
+        .unwrap();
+        let meta = s.head("uploads", "k").unwrap();
+        assert_eq!(meta.user.get("team").map(String::as_str), Some("rust"));
+    }
+
+    #[test]
+    fn lifecycle_after_upload() {
+        let s = store();
+        s.put("builds", "old", &b"x"[..], []).unwrap();
+        s.clock().advance(SimDuration::from_days(91));
+        s.put("builds", "new", &b"y"[..], []).unwrap();
+        assert_eq!(s.sweep_lifecycle(), 1);
+        assert!(s.get("builds", "old").is_err());
+        assert!(s.get("builds", "new").is_ok());
+        assert_eq!(s.usage().expired, 1);
+    }
+
+    #[test]
+    fn lifecycle_last_use_refresh_keeps_object_alive() {
+        let s = store();
+        s.put("uploads", "proj", &b"x"[..], []).unwrap();
+        // Touch it every 20 days for 100 days — survives a 30-day rule.
+        for _ in 0..5 {
+            s.clock().advance(SimDuration::from_days(20));
+            s.get("uploads", "proj").unwrap();
+            assert_eq!(s.sweep_lifecycle(), 0);
+        }
+        // Then go idle for 31 days.
+        s.clock().advance(SimDuration::from_days(31));
+        assert_eq!(s.sweep_lifecycle(), 1);
+    }
+
+    #[test]
+    fn head_does_not_refresh_last_use() {
+        let s = store();
+        s.put("uploads", "proj", &b"x"[..], []).unwrap();
+        s.clock().advance(SimDuration::from_days(29));
+        s.head("uploads", "proj").unwrap();
+        s.clock().advance(SimDuration::from_days(2));
+        assert_eq!(s.sweep_lifecycle(), 1, "head must not reset the clock");
+    }
+
+    #[test]
+    fn usage_counters() {
+        let s = store();
+        s.put("keep", "a", vec![0u8; 100], []).unwrap();
+        s.put("keep", "b", vec![0u8; 50], []).unwrap();
+        s.get("keep", "a").unwrap();
+        s.delete("keep", "b").unwrap();
+        let u = s.usage();
+        assert_eq!(u.puts, 2);
+        assert_eq!(u.gets, 1);
+        assert_eq!(u.deletes, 1);
+        assert_eq!(u.bytes_uploaded, 150);
+        assert_eq!(u.bytes_downloaded, 100);
+        assert_eq!(u.bytes_stored, 100);
+        assert_eq!(u.objects, 1);
+    }
+
+    #[test]
+    fn presigned_url_round_trip_and_expiry() {
+        let s = store();
+        s.put("keep", "build.tar", &b"artifact"[..], []).unwrap();
+        let url = s.presign("keep", "build.tar", SimTime::ZERO + SimDuration::from_days(7));
+        assert!(url.starts_with("rai-s3://keep/build.tar?"));
+        assert_eq!(s.get_presigned(&url).unwrap().data.as_ref(), b"artifact");
+        // Tampered key fails.
+        let tampered = url.replace("build.tar", "other.tar");
+        assert_eq!(s.get_presigned(&tampered), Err(StoreError::BadPresignedUrl));
+        // Tampered expiry fails (signature covers it).
+        let extended = url.replace("expires=", "expires=9");
+        assert_eq!(s.get_presigned(&extended), Err(StoreError::BadPresignedUrl));
+        // Garbage fails.
+        assert_eq!(s.get_presigned("http://nope"), Err(StoreError::BadPresignedUrl));
+        // After expiry it stops working.
+        s.clock().advance(SimDuration::from_days(8));
+        assert_eq!(s.get_presigned(&url), Err(StoreError::BadPresignedUrl));
+    }
+
+    #[test]
+    fn presigned_urls_differ_across_stores() {
+        let a = store();
+        let b = store();
+        a.put("keep", "k", &b"x"[..], []).unwrap();
+        b.put("keep", "k", &b"x"[..], []).unwrap();
+        let url_a = a.presign("keep", "k", SimTime::ZERO + SimDuration::from_days(1));
+        assert!(b.get_presigned(&url_a).is_err(), "cross-store URLs must not validate");
+    }
+
+    #[test]
+    fn fault_injection_fails_then_recovers() {
+        let s = store();
+        s.put("keep", "k", &b"v"[..], []).unwrap();
+        s.inject_faults(2);
+        assert_eq!(s.get("keep", "k"), Err(StoreError::Unavailable));
+        assert_eq!(s.put("keep", "k2", &b"v"[..], []), Err(StoreError::Unavailable));
+        // Budget exhausted: service recovers.
+        assert!(s.get("keep", "k").is_ok());
+        assert!(s.put("keep", "k2", &b"v"[..], []).is_ok());
+    }
+
+    #[test]
+    fn concurrent_puts_and_gets() {
+        let s = store();
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let s = s.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    let key = format!("t{t}/obj{i}");
+                    s.put("keep", &key, vec![t as u8; 10], []).unwrap();
+                    let got = s.get("keep", &key).unwrap();
+                    assert_eq!(got.data.len(), 10);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.usage().objects, 400);
+    }
+}

@@ -1,0 +1,231 @@
+//! Block-style emitter. `parse(to_string(v))` reconstructs `v` for every
+//! value the parser can produce (verified by a proptest round-trip in
+//! `tests/roundtrip.rs`).
+
+use crate::scanner::infer_plain;
+use crate::value::{format_float, Yaml};
+
+/// Serialize a value as a block-style YAML document (trailing newline
+/// included for non-empty documents).
+pub fn to_string(v: &Yaml) -> String {
+    let mut out = String::new();
+    emit_node(v, 0, &mut out);
+    out
+}
+
+fn push_indent(indent: usize, out: &mut String) {
+    for _ in 0..indent {
+        out.push(' ');
+    }
+}
+
+fn emit_node(v: &Yaml, indent: usize, out: &mut String) {
+    match v {
+        Yaml::Map(m) if !m.is_empty() => {
+            for (k, val) in m {
+                push_indent(indent, out);
+                out.push_str(&emit_key(k));
+                out.push(':');
+                emit_value_after_key(val, indent, out);
+            }
+        }
+        Yaml::Seq(s) if !s.is_empty() => {
+            for item in s {
+                push_indent(indent, out);
+                out.push('-');
+                emit_value_after_key(item, indent, out);
+            }
+        }
+        other => {
+            push_indent(indent, out);
+            out.push_str(&emit_scalar_or_empty_flow(other));
+            out.push('\n');
+        }
+    }
+}
+
+/// Emit a value that follows `key:` or `-` on the same line (scalars,
+/// empty collections) or as an indented block (non-empty collections).
+fn emit_value_after_key(v: &Yaml, indent: usize, out: &mut String) {
+    match v {
+        Yaml::Map(m) if !m.is_empty() => {
+            out.push('\n');
+            emit_node(v, indent + 2, out);
+            let _ = m;
+        }
+        Yaml::Seq(s) if !s.is_empty() => {
+            out.push('\n');
+            emit_node(v, indent + 2, out);
+            let _ = s;
+        }
+        Yaml::Null => out.push('\n'),
+        other => {
+            out.push(' ');
+            out.push_str(&emit_scalar_or_empty_flow(other));
+            out.push('\n');
+        }
+    }
+}
+
+fn emit_scalar_or_empty_flow(v: &Yaml) -> String {
+    match v {
+        Yaml::Null => "~".to_string(),
+        Yaml::Bool(b) => b.to_string(),
+        Yaml::Int(i) => i.to_string(),
+        Yaml::Float(f) => format_float(*f),
+        Yaml::Str(s) => emit_string(s),
+        Yaml::Seq(_) => "[]".to_string(),
+        Yaml::Map(_) => "{}".to_string(),
+    }
+}
+
+fn emit_key(k: &str) -> String {
+    // Keys never contain the separator pattern after quoting.
+    emit_string(k)
+}
+
+/// Decide whether a string can be emitted plain or must be quoted.
+fn emit_string(s: &str) -> String {
+    if needs_quoting(s) {
+        let mut q = String::with_capacity(s.len() + 2);
+        q.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => q.push_str("\\\""),
+                '\\' => q.push_str("\\\\"),
+                '\n' => q.push_str("\\n"),
+                '\t' => q.push_str("\\t"),
+                '\r' => q.push_str("\\r"),
+                '\0' => q.push_str("\\0"),
+                other => q.push(other),
+            }
+        }
+        q.push('"');
+        q
+    } else {
+        s.to_string()
+    }
+}
+
+fn needs_quoting(s: &str) -> bool {
+    if s.is_empty() {
+        return true;
+    }
+    // Leading/trailing whitespace would be eaten by trimming.
+    if s != s.trim() {
+        return true;
+    }
+    // Would be re-parsed as a different type or as structure.
+    if !matches!(infer_plain(s), Yaml::Str(_)) {
+        return true;
+    }
+    if s == "-" || s.starts_with("- ") || s.starts_with('#') {
+        return true;
+    }
+    if s.starts_with(['[', '{', '"', '\'', '&', '*', '!', '|', '>', '%', '@']) {
+        return true;
+    }
+    // A separator colon would make it look like a mapping entry.
+    if s.ends_with(':') || s.contains(": ") {
+        return true;
+    }
+    if s.contains('\n') || s.contains('\t') || s.contains('\r') || s.contains('\0') {
+        return true;
+    }
+    // A ` #` would be scanned as a trailing comment.
+    if s.contains(" #") {
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn round_trip(v: &Yaml) {
+        let text = to_string(v);
+        let back = parse(&text).unwrap_or_else(|e| panic!("emitted text failed to parse: {e}\n{text}"));
+        assert_eq!(&back, v, "round-trip mismatch; emitted:\n{text}");
+    }
+
+    #[test]
+    fn emits_listing_like_document() {
+        let doc = Yaml::Map(vec![
+            (
+                "rai".into(),
+                Yaml::Map(vec![
+                    ("version".into(), Yaml::Float(0.1)),
+                    ("image".into(), Yaml::Str("webgpu/rai:root".into())),
+                ]),
+            ),
+            (
+                "commands".into(),
+                Yaml::Map(vec![(
+                    "build".into(),
+                    Yaml::Seq(vec![
+                        Yaml::Str("echo \"Building project\"".into()),
+                        Yaml::Str("cmake /src".into()),
+                        Yaml::Str("make".into()),
+                    ]),
+                )]),
+            ),
+        ]);
+        let text = to_string(&doc);
+        assert!(text.contains("rai:\n  version: 0.1\n  image: webgpu/rai:root\n"));
+        assert!(text.contains("  build:\n    - "));
+        round_trip(&doc);
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        for v in [
+            Yaml::Null,
+            Yaml::Bool(true),
+            Yaml::Bool(false),
+            Yaml::Int(0),
+            Yaml::Int(-42),
+            Yaml::Float(0.25),
+            Yaml::Str("plain".into()),
+            Yaml::Str("needs: quoting".into()),
+            Yaml::Str("0.1".into()),
+            Yaml::Str("".into()),
+            Yaml::Str("has # comment-ish".into()),
+            Yaml::Str("multi\nline\tstuff".into()),
+            Yaml::Str("- looks like a seq".into()),
+            Yaml::Str("true".into()),
+        ] {
+            round_trip(&v);
+        }
+    }
+
+    #[test]
+    fn empty_collections_round_trip() {
+        round_trip(&Yaml::Map(vec![("a".into(), Yaml::Seq(vec![]))]));
+        round_trip(&Yaml::Map(vec![("a".into(), Yaml::Map(vec![]))]));
+        round_trip(&Yaml::Seq(vec![Yaml::Seq(vec![]), Yaml::Map(vec![])]));
+    }
+
+    #[test]
+    fn deep_nesting_round_trips() {
+        let doc = Yaml::Seq(vec![
+            Yaml::Map(vec![
+                ("name".into(), Yaml::Str("team a".into())),
+                (
+                    "runs".into(),
+                    Yaml::Seq(vec![Yaml::Float(0.45), Yaml::Float(0.47)]),
+                ),
+            ]),
+            Yaml::Seq(vec![Yaml::Seq(vec![Yaml::Int(1)])]),
+            Yaml::Null,
+        ]);
+        round_trip(&doc);
+    }
+
+    #[test]
+    fn quoted_key_round_trips() {
+        let doc = Yaml::Map(vec![("weird: key".into(), Yaml::Int(1))]);
+        round_trip(&doc);
+    }
+}

@@ -1,0 +1,47 @@
+//! The deadline-burst scenario (paper §VII): a scaled-down class works
+//! toward a deadline; the simulation shows the circadian/burst shape of
+//! Fig. 4 and what the elastic fleet does to queue waits and cost.
+//!
+//! ```text
+//! cargo run --release --example burst_load
+//! ```
+
+use rai::workload::semester::run_semester;
+use rai::workload::SemesterConfig;
+
+fn main() {
+    // 12 teams over two weeks — small enough to run in seconds, large
+    // enough for the burst to show.
+    let config = SemesterConfig::scaled(12, 14, 7);
+    println!(
+        "simulating {} teams over {} days through the full pipeline...",
+        config.teams, config.duration_days
+    );
+    let result = run_semester(&config);
+
+    println!("\nsubmissions per hour (whole project):");
+    println!("  {}", result.full_timeline.sparkline(100));
+    println!("\nper-day totals:");
+    for (day, chunk) in result.full_timeline.counts().chunks(24).enumerate() {
+        let total: u64 = chunk.iter().sum();
+        println!("  day {:>2}: {:>5} {}", day + 1, total, "#".repeat((total / 10) as usize));
+    }
+
+    println!("\ntotals:");
+    println!("  submissions: {} ({} failed)", result.total_submissions, result.failures);
+    println!(
+        "  queue waits p50/p90/p99: {:.1}s / {:.1}s / {:.1}s",
+        result.queue_wait_secs.0, result.queue_wait_secs.1, result.queue_wait_secs.2
+    );
+    println!(
+        "  file server: {} uploads, {:.1} MB",
+        result.store.puts,
+        result.store.bytes_uploaded as f64 / 1e6
+    );
+    println!("  fleet cost: ${:.2}", result.cost_cents as f64 / 100.0);
+
+    println!("\nfinal standings:");
+    for (i, (team, secs)) in result.final_standings.iter().enumerate() {
+        println!("  #{:<2} {:<10} {:>8.3}s", i + 1, team, secs);
+    }
+}

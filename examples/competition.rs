@@ -1,0 +1,57 @@
+//! The end-of-term competition scenario (paper §VI): teams with
+//! different levels of optimization make final submissions; the
+//! leaderboard shows each team its rank and everyone else anonymized;
+//! the instructor sees the Fig. 2-style histogram.
+//!
+//! ```text
+//! cargo run --release --example competition
+//! ```
+
+use rai::core::client::ProjectDir;
+use rai::core::system::{RaiSystem, SystemConfig};
+
+fn main() {
+    let mut system = RaiSystem::new(SystemConfig {
+        workers: 2,
+        rate_limit: None,
+        ..Default::default()
+    });
+
+    // Six teams at different stages of optimization: full-dataset
+    // runtimes from a tuned 0.4 s kernel to a barely-GPU 40 s one.
+    let field: [(&str, f64, f64); 6] = [
+        ("warp-speed", 400.0, 0.93),
+        ("tile-titans", 520.0, 0.92),
+        ("shared-mem", 700.0, 0.91),
+        ("coalesced", 1_100.0, 0.90),
+        ("just-ported", 8_000.0, 0.88),
+        ("still-naive", 40_000.0, 0.87),
+    ];
+
+    for (team, full_ms, acc) in field {
+        let creds = system.register_team(team, &[]);
+        let project = ProjectDir::cuda_project_with_perf(full_ms, acc, 2048).with_final_artifacts();
+        let receipt = system.submit_final(&creds, &project).expect("final submission");
+        println!(
+            "{team:<12} submitted: ok={} measured={:.3}s",
+            receipt.success,
+            receipt.internal_timer_secs.expect("program ran")
+        );
+    }
+
+    // What the "coalesced" team sees: own name, others anonymized.
+    println!("\nleaderboard as team 'coalesced' sees it:");
+    for row in system.rankings().view_for("coalesced") {
+        println!(
+            "  #{} {:<16} {:>8.3}s{}",
+            row.rank,
+            row.display_name,
+            row.runtime_secs,
+            if row.is_self { "  <- coalesced" } else { "" }
+        );
+    }
+
+    // What the instructor plots (Fig. 2 style).
+    println!("\ninstructor histogram (0.1 s bins):");
+    print!("{}", system.rankings().top_n_histogram(30, 0.1, 25).ascii(40));
+}

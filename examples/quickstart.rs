@@ -1,0 +1,58 @@
+//! Quickstart: stand up an in-process RAI deployment, submit a project
+//! the way a student would, then make a final submission and check the
+//! leaderboard.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rai::core::client::ProjectDir;
+use rai::core::system::{RaiSystem, SystemConfig};
+
+fn main() {
+    // Broker + file server + database + credential registry + 1 worker.
+    let mut system = RaiSystem::new(SystemConfig::default());
+
+    // The staff registers the team and e-mails it these credentials
+    // (see the `instructor_tools` example for the full key-mail flow).
+    let creds = system.register_team("gpu-gophers", &["alice", "bob", "carol"]);
+    println!("credentials delivered to the team:\n{}", creds.to_profile());
+
+    // A development run: the student's own rai-build.yml (Listing 1
+    // defaults here) against the small test dataset.
+    let project = ProjectDir::sample_cuda_project();
+    let receipt = system.submit(&creds, &project).expect("dev run");
+    println!("--- rai (job {:08x}) ---", receipt.job_id);
+    for line in &receipt.log {
+        println!("{line}");
+    }
+    println!(
+        "dev run ok={} internal timer={:?}s build archive={:?}\n",
+        receipt.success, receipt.internal_timer_secs, receipt.build_url
+    );
+
+    // The final submission requires USAGE + report.pdf and runs the
+    // enforced full-dataset build file.
+    let final_project = project.with_final_artifacts();
+    let receipt = system
+        .submit_final(&creds, &final_project)
+        .expect("final submission");
+    println!("--- rai submit (job {:08x}) ---", receipt.job_id);
+    println!(
+        "final ok={} measured={:.3}s",
+        receipt.success,
+        receipt.internal_timer_secs.expect("program ran")
+    );
+
+    // Check the team's competition standing.
+    let board = system.rankings();
+    println!(
+        "\nranking: {:?} of {} team(s)",
+        board.rank_of("gpu-gophers"),
+        board.standings().len()
+    );
+    for row in board.view_for("gpu-gophers") {
+        println!("  #{} {} {:.3}s{}", row.rank, row.display_name, row.runtime_secs,
+                 if row.is_self { "  <- you" } else { "" });
+    }
+}

@@ -1,0 +1,120 @@
+//! Live-mode soak: real OS threads for workers and clients sharing one
+//! broker/store/database, the way an actual deployment runs (the
+//! discrete-event semester drives the same components single-threaded).
+
+use parking_lot::RwLock;
+use rai::auth::{CredentialRegistry, KeyGenerator};
+use rai::broker::Broker;
+use rai::core::client::{ProjectDir, RaiClient, SubmitMode, BUILD_BUCKET, UPLOAD_BUCKET};
+use rai::core::worker::{Worker, WorkerConfig};
+use rai::db::{doc, Database};
+use rai::sandbox::ImageRegistry;
+use rai::sim::VirtualClock;
+use rai::store::{LifecycleRule, ObjectStore};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const CLIENTS: usize = 4;
+const JOBS_PER_CLIENT: usize = 6;
+const WORKERS: usize = 3;
+
+#[test]
+fn threaded_workers_and_clients() {
+    let broker = Broker::default();
+    let store = ObjectStore::new(VirtualClock::new());
+    store
+        .create_bucket(UPLOAD_BUCKET, LifecycleRule::one_month_after_last_use())
+        .expect("fresh store");
+    store
+        .create_bucket(BUILD_BUCKET, LifecycleRule::Keep)
+        .expect("fresh store");
+    let db = Database::new();
+    let registry = Arc::new(RwLock::new(CredentialRegistry::new()));
+    let images = Arc::new(ImageRegistry::course_default());
+    let next_job_id = Arc::new(AtomicU64::new(1));
+
+    // Issue credentials for every client team up front.
+    let mut keygen = KeyGenerator::from_seed(404);
+    let creds: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            let c = keygen.generate(&format!("live-team-{i}"));
+            registry.write().register(c.clone());
+            c
+        })
+        .collect();
+
+    // Worker threads: poll until told to stop.
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut worker_handles = Vec::new();
+    for w in 0..WORKERS {
+        let mut worker = Worker::new(
+            WorkerConfig {
+                worker_id: format!("live-worker-{w}"),
+                noise_seed: w as u64,
+                ..Default::default()
+            },
+            broker.clone(),
+            store.clone(),
+            db.clone(),
+            registry.clone(),
+            images.clone(),
+        );
+        let stop = stop.clone();
+        worker_handles.push(std::thread::spawn(move || {
+            let mut processed = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                match worker.step() {
+                    Some(_) => processed += 1,
+                    None => std::thread::sleep(Duration::from_millis(1)),
+                }
+            }
+            processed
+        }));
+    }
+
+    // Client threads: submit and wait for each receipt.
+    let mut client_handles = Vec::new();
+    for creds in creds {
+        let client = RaiClient::new(
+            creds.clone(),
+            &creds.user_name,
+            broker.clone(),
+            store.clone(),
+            next_job_id.clone(),
+        );
+        client_handles.push(std::thread::spawn(move || {
+            let mut ok = 0;
+            for _ in 0..JOBS_PER_CLIENT {
+                let pending = client
+                    .begin_submit(&ProjectDir::sample_cuda_project(), SubmitMode::Run)
+                    .expect("submit starts");
+                let receipt = pending.wait(Duration::from_secs(30)).expect("job completes");
+                assert!(receipt.success, "log: {:#?}", receipt.log);
+                assert!(receipt.build_url.is_some());
+                ok += 1;
+            }
+            ok
+        }));
+    }
+
+    let total_ok: usize = client_handles.into_iter().map(|h| h.join().expect("client thread")).sum();
+    stop.store(true, Ordering::Relaxed);
+    let total_processed: u64 = worker_handles
+        .into_iter()
+        .map(|h| h.join().expect("worker thread"))
+        .sum();
+
+    assert_eq!(total_ok, CLIENTS * JOBS_PER_CLIENT);
+    assert_eq!(total_processed as usize, CLIENTS * JOBS_PER_CLIENT);
+    // Every job recorded exactly once; queue fully drained.
+    assert_eq!(
+        db.collection("submissions").read().count(&doc! {}),
+        CLIENTS * JOBS_PER_CLIENT
+    );
+    let stats = broker.topic_stats("rai").expect("task topic");
+    assert_eq!(stats.depth, 0);
+    assert_eq!(stats.in_flight, 0);
+    // Uploads + build outputs both landed.
+    assert_eq!(store.usage().puts, 2 * (CLIENTS * JOBS_PER_CLIENT) as u64);
+}
