@@ -1,0 +1,74 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Size specification for generated collections.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    min: usize,
+    max_inclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange { min: exact, max_inclusive: exact }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(range: std::ops::Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty collection size range");
+        SizeRange { min: range.start, max_inclusive: range.end - 1 }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(range: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange { min: *range.start(), max_inclusive: *range.end() }
+    }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Clone> Clone for VecStrategy<S> {
+    fn clone(&self) -> Self {
+        VecStrategy { element: self.element.clone(), size: self.size.clone() }
+    }
+}
+
+/// `prop::collection::vec(element, size)` — a Vec whose length is
+/// uniform in `size` and whose elements come from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.max_inclusive - self.size.min + 1) as u64;
+        let len = self.size.min + rng.below(span) as usize;
+        (0..len).map(|_| self.element.gen_value(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_lengths_cover_range() {
+        let strat = vec(0u8..=255, 0..5);
+        let mut rng = TestRng::for_case("collection::tests", 0);
+        let mut seen = [false; 5];
+        for _ in 0..300 {
+            let v = strat.gen_value(&mut rng);
+            assert!(v.len() < 5);
+            seen[v.len()] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all lengths 0..5 generated");
+    }
+}

@@ -1,0 +1,39 @@
+//! Numeric strategies (`prop::num::f64::NORMAL`).
+
+pub mod f64 {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Generates normal floats: finite, non-NaN, non-subnormal,
+    /// non-zero — both signs, full exponent range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct NormalStrategy;
+
+    pub const NORMAL: NormalStrategy = NormalStrategy;
+
+    impl Strategy for NormalStrategy {
+        type Value = core::primitive::f64;
+        fn gen_value(&self, rng: &mut TestRng) -> core::primitive::f64 {
+            loop {
+                let candidate = core::primitive::f64::from_bits(rng.next_u64());
+                if candidate.is_normal() {
+                    return candidate;
+                }
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn normal_floats_are_normal() {
+            let mut rng = TestRng::for_case("num::f64::tests", 0);
+            for _ in 0..10_000 {
+                let f = NORMAL.gen_value(&mut rng);
+                assert!(f.is_normal(), "{f} should be normal");
+            }
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Regex-shaped string generation (`proptest::string::string_regex`).
+//!
+//! Supports the subset of regex syntax the workspace's tests use:
+//! literals, escapes, character classes with ranges, groups, and the
+//! `{m}`, `{m,n}`, `?`, `*`, `+` quantifiers. Alternation (`|`),
+//! anchors, and negated classes are not implemented and produce an
+//! `Err` — matching real proptest's behavior of failing fast on
+//! unsupported patterns.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Upper bound for the open-ended `*` / `+` quantifiers.
+const UNBOUNDED_MAX: u32 = 8;
+
+#[derive(Clone, Debug)]
+enum Node {
+    Literal(char),
+    /// Expanded set of candidate characters.
+    Class(Vec<char>),
+    Group(Vec<Node>),
+    Repeat(Box<Node>, u32, u32),
+}
+
+#[derive(Clone, Debug)]
+pub struct RegexGeneratorStrategy {
+    nodes: Vec<Node>,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unsupported regex: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+    let mut chars = pattern.chars().peekable();
+    let nodes = parse_sequence(&mut chars, None)?;
+    if chars.next().is_some() {
+        return Err(Error("unbalanced ')'".into()));
+    }
+    Ok(RegexGeneratorStrategy { nodes })
+}
+
+type Chars<'a> = std::iter::Peekable<std::str::Chars<'a>>;
+
+fn parse_sequence(chars: &mut Chars, until: Option<char>) -> Result<Vec<Node>, Error> {
+    let mut nodes = Vec::new();
+    loop {
+        match chars.peek().copied() {
+            None => {
+                if until.is_some() {
+                    return Err(Error("unterminated group".into()));
+                }
+                return Ok(nodes);
+            }
+            Some(c) if Some(c) == until => {
+                chars.next();
+                return Ok(nodes);
+            }
+            Some('|') => return Err(Error("alternation '|' not supported".into())),
+            Some('^') | Some('$') => return Err(Error("anchors not supported".into())),
+            Some('(') => {
+                chars.next();
+                let inner = parse_sequence(chars, Some(')'))?;
+                nodes.push(apply_quantifier(Node::Group(inner), chars)?);
+            }
+            Some('[') => {
+                chars.next();
+                let class = parse_class(chars)?;
+                nodes.push(apply_quantifier(Node::Class(class), chars)?);
+            }
+            Some(')') => return Err(Error("unbalanced ')'".into())),
+            Some('\\') => {
+                chars.next();
+                let escaped = parse_escape(chars)?;
+                nodes.push(apply_quantifier(Node::Literal(escaped), chars)?);
+            }
+            Some('.') => {
+                chars.next();
+                let printable: Vec<char> = (b' '..=b'~').map(|b| b as char).collect();
+                nodes.push(apply_quantifier(Node::Class(printable), chars)?);
+            }
+            Some(c) => {
+                chars.next();
+                nodes.push(apply_quantifier(Node::Literal(c), chars)?);
+            }
+        }
+    }
+}
+
+fn parse_escape(chars: &mut Chars) -> Result<char, Error> {
+    match chars.next() {
+        Some('n') => Ok('\n'),
+        Some('t') => Ok('\t'),
+        Some('r') => Ok('\r'),
+        Some('0') => Ok('\0'),
+        Some(c @ ('\\' | '.' | '-' | '[' | ']' | '(' | ')' | '{' | '}' | '+' | '*' | '?'
+        | '/' | '|' | '^' | '$' | ' ')) => Ok(c),
+        Some(c) => Err(Error(format!("escape '\\{c}' not supported"))),
+        None => Err(Error("dangling backslash".into())),
+    }
+}
+
+fn parse_class(chars: &mut Chars) -> Result<Vec<char>, Error> {
+    if chars.peek() == Some(&'^') {
+        return Err(Error("negated classes not supported".into()));
+    }
+    let mut members = Vec::new();
+    loop {
+        let c = match chars.next() {
+            None => return Err(Error("unterminated character class".into())),
+            Some(']') => {
+                if members.is_empty() {
+                    return Err(Error("empty character class".into()));
+                }
+                return Ok(members);
+            }
+            Some('\\') => parse_escape(chars)?,
+            Some(c) => c,
+        };
+        // Range if a '-' follows and is itself followed by a
+        // non-']' character; otherwise '-' is a literal member.
+        if chars.peek() == Some(&'-') {
+            let mut lookahead = chars.clone();
+            lookahead.next();
+            if lookahead.peek().is_some() && lookahead.peek() != Some(&']') {
+                chars.next();
+                let end = match chars.next() {
+                    Some('\\') => parse_escape(chars)?,
+                    Some(e) => e,
+                    None => return Err(Error("unterminated range".into())),
+                };
+                if end < c {
+                    return Err(Error(format!("inverted range {c}-{end}")));
+                }
+                let (lo, hi) = (c as u32, end as u32);
+                members.extend((lo..=hi).filter_map(char::from_u32));
+                continue;
+            }
+        }
+        members.push(c);
+    }
+}
+
+fn apply_quantifier(node: Node, chars: &mut Chars) -> Result<Node, Error> {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut spec = String::new();
+            loop {
+                match chars.next() {
+                    Some('}') => break,
+                    Some(c) => spec.push(c),
+                    None => return Err(Error("unterminated quantifier".into())),
+                }
+            }
+            let (min, max) = match spec.split_once(',') {
+                None => {
+                    let n: u32 =
+                        spec.trim().parse().map_err(|_| Error(format!("bad quantifier {{{spec}}}")))?;
+                    (n, n)
+                }
+                Some((lo, hi)) => {
+                    let min: u32 =
+                        lo.trim().parse().map_err(|_| Error(format!("bad quantifier {{{spec}}}")))?;
+                    let max: u32 = if hi.trim().is_empty() {
+                        min + UNBOUNDED_MAX
+                    } else {
+                        hi.trim().parse().map_err(|_| Error(format!("bad quantifier {{{spec}}}")))?
+                    };
+                    (min, max)
+                }
+            };
+            if max < min {
+                return Err(Error(format!("bad quantifier {{{spec}}}")));
+            }
+            Ok(Node::Repeat(Box::new(node), min, max))
+        }
+        Some('?') => {
+            chars.next();
+            Ok(Node::Repeat(Box::new(node), 0, 1))
+        }
+        Some('*') => {
+            chars.next();
+            Ok(Node::Repeat(Box::new(node), 0, UNBOUNDED_MAX))
+        }
+        Some('+') => {
+            chars.next();
+            Ok(Node::Repeat(Box::new(node), 1, UNBOUNDED_MAX))
+        }
+        _ => Ok(node),
+    }
+}
+
+fn generate_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Literal(c) => out.push(*c),
+        Node::Class(members) => {
+            out.push(members[rng.below(members.len() as u64) as usize]);
+        }
+        Node::Group(nodes) => {
+            for inner in nodes {
+                generate_node(inner, rng, out);
+            }
+        }
+        Node::Repeat(inner, min, max) => {
+            let count = *min + rng.below((*max - *min + 1) as u64) as u32;
+            for _ in 0..count {
+                generate_node(inner, rng, out);
+            }
+        }
+    }
+}
+
+impl Strategy for RegexGeneratorStrategy {
+    type Value = String;
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for node in &self.nodes {
+            generate_node(node, rng, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("string::tests", 7)
+    }
+
+    fn assert_all_match(pattern: &str, check: impl Fn(&str) -> bool) {
+        let strat = string_regex(pattern).expect("pattern parses");
+        let mut r = rng();
+        for _ in 0..500 {
+            let s = strat.gen_value(&mut r);
+            assert!(check(&s), "pattern {pattern:?} produced invalid {s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_with_escapes() {
+        assert_all_match("[ -~\\n\\t]{0,24}", |s| {
+            s.chars().count() <= 24
+                && s.chars().all(|c| (' '..='~').contains(&c) || c == '\n' || c == '\t')
+        });
+    }
+
+    #[test]
+    fn identifier_shape() {
+        assert_all_match("[a-zA-Z_][a-zA-Z0-9_ :.#-]{0,12}", |s| {
+            let mut chars = s.chars();
+            let head = chars.next().expect("at least one char");
+            (head.is_ascii_alphabetic() || head == '_')
+                && chars.clone().count() <= 12
+                && chars.all(|c| c.is_ascii_alphanumeric() || "_ :.#-".contains(c))
+        });
+    }
+
+    #[test]
+    fn grouped_path_segments() {
+        assert_all_match("[a-z][a-z0-9_.]{0,8}(/[a-z][a-z0-9_.]{0,8}){0,3}", |s| {
+            s.split('/').count() <= 4
+                && s.split('/').all(|seg| {
+                    let mut chars = seg.chars();
+                    matches!(chars.next(), Some(c) if c.is_ascii_lowercase())
+                        && chars.all(|c| {
+                            c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '.'
+                        })
+                })
+        });
+    }
+
+    #[test]
+    fn exact_repetition_and_optionals() {
+        assert_all_match("ab{3}c?", |s| s == "abbb" || s == "abbbc");
+    }
+
+    #[test]
+    fn rejects_unsupported_syntax() {
+        assert!(string_regex("a|b").is_err());
+        assert!(string_regex("[^a]").is_err());
+        assert!(string_regex("(unclosed").is_err());
+    }
+}

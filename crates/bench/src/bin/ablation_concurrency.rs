@@ -19,7 +19,8 @@ use rai_core::client::ProjectDir;
 use rai_core::worker::{Worker, WorkerConfig};
 use rai_db::Database;
 use rai_sandbox::ImageRegistry;
-use rai_sim::{OnlineStats, VirtualClock};
+use rai_sim::VirtualClock;
+use rai_telemetry::OnlineStats;
 use rai_store::{LifecycleRule, ObjectStore};
 use std::sync::Arc;
 

@@ -15,9 +15,12 @@ use rai_workload::{run_competition, CompetitionConfig};
 
 fn main() {
     let config = CompetitionConfig::default();
-    println!(
+    rai_telemetry::log!(
+        info,
         "running the final competition: {} teams ({} students), seed {}",
-        config.teams, config.students, config.seed
+        config.teams,
+        config.students,
+        config.seed
     );
     let result = run_competition(&config);
     assert!(result.failures.is_empty(), "failed finals: {:?}", result.failures);

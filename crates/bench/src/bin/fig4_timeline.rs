@@ -14,9 +14,13 @@ use rai_workload::SemesterConfig;
 
 fn main() {
     let config = SemesterConfig::paper();
-    println!(
+    rai_telemetry::log!(
+        info,
         "simulating the semester: {} teams / {} students / {} days (seed {})",
-        config.teams, config.students, config.duration_days, config.seed
+        config.teams,
+        config.students,
+        config.duration_days,
+        config.seed
     );
     let result = run_semester(&config);
 
@@ -59,6 +63,15 @@ fn main() {
         "  queue wait p50/p90/p99 (s): {:.1} / {:.1} / {:.1}",
         result.queue_wait_secs.0, result.queue_wait_secs.1, result.queue_wait_secs.2
     );
+    rai_bench::header("pipeline stage latency (telemetry histograms)");
+    let mut stage_hists = result.metrics.histograms_named(rai_telemetry::names::JOB_STAGE_SECONDS);
+    stage_hists.sort_by_key(|(key, _)| key.render());
+    for (key, hist) in &stage_hists {
+        let mean = if hist.total() > 0 { hist.sum() / hist.total() as f64 } else { 0.0 };
+        println!("  {:<44} n={:>6}  mean {:>7.3} s", key.render(), hist.total(), mean);
+    }
+    assert!(!stage_hists.is_empty(), "stage histograms should be populated");
+
     let pre_dawn: u64 = (4..7).map(|h| by_hour[h]).sum();
     let evening: u64 = (20..23).map(|h| by_hour[h]).sum();
     println!("  pre-dawn (04-06) vs evening (20-22) volume: {pre_dawn} vs {evening}");

@@ -18,6 +18,12 @@ use rai_workload::SemesterConfig;
 
 fn main() {
     let config = SemesterConfig::paper();
+    rai_telemetry::log!(
+        info,
+        "simulating the paper semester ({} teams, {} days)",
+        config.teams,
+        config.duration_days
+    );
     let result = run_semester(&config);
 
     rai_bench::header("provisioning phases (paper §VII)");
@@ -83,6 +89,28 @@ fn main() {
         println!("  #{:<3} {:<10} {:>8.3} s", i + 1, team, secs);
     }
 
+    rai_bench::header("telemetry (Prometheus exposition excerpt)");
+    let exposition = rai_telemetry::render_prometheus(&result.metrics);
+    for line in exposition.lines().filter(|l| {
+        l.starts_with("rai_jobs_total")
+            || l.starts_with("rai_broker_")
+            || l.starts_with("rai_store_bytes_")
+            || l.starts_with("rai_db_")
+            || l.contains("_count")
+    }) {
+        println!("  {line}");
+    }
+    let jobs_counted = result.metrics.counter_total(rai_telemetry::names::JOBS_TOTAL);
+    println!(
+        "
+  registry: {} counters / {} gauges / {} histograms; rai_jobs_total = {}",
+        result.metrics.counters.len(),
+        result.metrics.gauges.len(),
+        result.metrics.histograms.len(),
+        jobs_counted
+    );
+
     assert!(result.total_submissions > 30_000);
+    assert_eq!(jobs_counted, result.total_submissions);
     assert_eq!(result.final_standings.len(), config.teams);
 }

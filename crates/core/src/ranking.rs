@@ -6,7 +6,7 @@
 //! runtimes in 0.1-second bins.
 
 use rai_db::{doc, Database, FindOptions};
-use rai_sim::Histogram;
+use rai_telemetry::Histogram;
 
 /// One row of the leaderboard as shown to a student.
 #[derive(Clone, Debug, PartialEq)]

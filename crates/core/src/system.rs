@@ -17,6 +17,7 @@ use rai_db::{doc, Database};
 use rai_sandbox::{ImageRegistry, ResourceLimits};
 use rai_sim::{SimDuration, VirtualClock};
 use rai_store::{LifecycleRule, ObjectStore, StoreUsage};
+use rai_telemetry::{names, stage, MetricsSnapshot, Telemetry};
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 use std::time::Duration;
@@ -62,6 +63,8 @@ pub struct SystemReport {
     pub submissions: usize,
     /// Registered teams.
     pub teams: usize,
+    /// Telemetry snapshot (counters, gauges, stage histograms).
+    pub metrics: MetricsSnapshot,
 }
 
 /// An in-process RAI deployment.
@@ -77,6 +80,7 @@ pub struct RaiSystem {
     keygen: KeyGenerator,
     next_job_id: Arc<AtomicU64>,
     sessions: SessionBroker,
+    telemetry: Telemetry,
 }
 
 impl RaiSystem {
@@ -100,9 +104,10 @@ impl RaiSystem {
         let db = Database::new();
         let registry = Arc::new(RwLock::new(CredentialRegistry::new()));
         let images = Arc::new(ImageRegistry::course_default());
+        let telemetry = Telemetry::new(clock.clone());
         let workers = (0..config.workers.max(1))
             .map(|i| {
-                Worker::new(
+                let mut w = Worker::new(
                     WorkerConfig {
                         worker_id: format!("worker-{i:02}"),
                         max_in_flight: config.jobs_per_worker.max(1),
@@ -115,9 +120,43 @@ impl RaiSystem {
                     db.clone(),
                     registry.clone(),
                     images.clone(),
-                )
+                );
+                w.set_telemetry(telemetry.clone());
+                w
             })
             .collect();
+        // Pull-style collectors: broker / store / db keep their own
+        // counters; these mirror them into the registry at snapshot time.
+        {
+            let broker = broker.clone();
+            telemetry.register_collector(move |reg| {
+                let s = broker.stats();
+                reg.counter(names::BROKER_PUBLISHED_TOTAL, &[]).store(s.published);
+                reg.counter(names::BROKER_ACKED_TOTAL, &[]).store(s.acked);
+                reg.counter(names::BROKER_REQUEUED_TOTAL, &[]).store(s.requeued);
+                reg.gauge(names::BROKER_QUEUE_DEPTH, &[]).set(s.depth as f64);
+                reg.gauge(names::BROKER_IN_FLIGHT, &[]).set(s.in_flight as f64);
+                reg.gauge(names::BROKER_CHANNELS, &[]).set(s.channels as f64);
+            });
+            let store = store.clone();
+            telemetry.register_collector(move |reg| {
+                let u = store.usage();
+                reg.counter(names::STORE_BYTES_UPLOADED_TOTAL, &[]).store(u.bytes_uploaded);
+                reg.counter(names::STORE_BYTES_DOWNLOADED_TOTAL, &[]).store(u.bytes_downloaded);
+                reg.counter(names::STORE_PUTS_TOTAL, &[]).store(u.puts);
+                reg.counter(names::STORE_GETS_TOTAL, &[]).store(u.gets);
+                reg.counter(names::STORE_EXPIRED_TOTAL, &[]).store(u.expired);
+                reg.gauge(names::STORE_BYTES_STORED, &[]).set(u.bytes_stored as f64);
+                reg.gauge(names::STORE_OBJECTS, &[]).set(u.objects as f64);
+            });
+            let db2 = db.clone();
+            telemetry.register_collector(move |reg| {
+                let t = db2.total_stats();
+                reg.counter(names::DB_INSERTS_TOTAL, &[]).store(t.inserts);
+                reg.counter(names::DB_QUERIES_TOTAL, &[]).store(t.queries);
+                reg.counter(names::DB_UPDATES_TOTAL, &[]).store(t.updates);
+            });
+        }
         let rate_limiter = config
             .rate_limit
             .map(|d| RateLimiter::new(clock.clone(), d));
@@ -134,6 +173,7 @@ impl RaiSystem {
             keygen: KeyGenerator::from_seed(config.seed),
             next_job_id: Arc::new(AtomicU64::new(1)),
             sessions: SessionBroker::new(images2),
+            telemetry,
         }
     }
 
@@ -182,6 +222,9 @@ impl RaiSystem {
     fn check_rate(&self, creds: &Credentials) -> Result<(), SubmitError> {
         if let Some(rl) = &self.rate_limiter {
             if let RateDecision::Denied { retry_after } = rl.check(&creds.access_key) {
+                self.telemetry
+                    .counter(names::RATELIMIT_DENIED_TOTAL, &[])
+                    .inc();
                 return Err(SubmitError::RateLimited {
                     retry_after_secs: retry_after.as_secs(),
                 });
@@ -215,6 +258,10 @@ impl RaiSystem {
         let client = self.client_for(creds);
         let pending = client.begin_submit(project, mode)?;
         let job_id = pending.job_id;
+        // The client uploads and publishes in one step, so submit and
+        // enqueue share a timestamp in the trace.
+        self.telemetry.trace_stage(job_id, stage::SUBMITTED);
+        self.telemetry.trace_stage(job_id, stage::ENQUEUED);
         self.drive_until(|o| o.job_id == job_id);
         pending.wait(Duration::from_millis(500))
     }
@@ -260,6 +307,7 @@ impl RaiSystem {
             broker: self.broker.stats(),
             submissions: self.db.collection("submissions").read().len(),
             teams: self.db.collection("teams").read().len(),
+            metrics: self.telemetry.snapshot(),
         }
     }
 
@@ -291,6 +339,11 @@ impl RaiSystem {
     /// The credential registry.
     pub fn registry(&self) -> &Arc<RwLock<CredentialRegistry>> {
         &self.registry
+    }
+
+    /// The telemetry handle (metrics registry, spans, job traces).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Direct worker access (ablation experiments).
@@ -376,6 +429,27 @@ mod tests {
         assert_eq!(report.store.puts, 6);
         assert!(report.store.bytes_uploaded > 0);
         assert!(report.broker.published >= 3);
+    }
+
+    #[test]
+    fn telemetry_records_job_lifecycle() {
+        let mut system = RaiSystem::new(SystemConfig {
+            rate_limit: None,
+            ..Default::default()
+        });
+        let creds = system.register_team("t", &[]);
+        let receipt = system.submit(&creds, &ProjectDir::sample_cuda_project()).unwrap();
+        let trace = system
+            .telemetry()
+            .job_trace(receipt.job_id)
+            .expect("job should be traced");
+        assert!(trace.is_monotone());
+        assert!(trace.stage_time(rai_telemetry::stage::SUBMITTED).is_some());
+        assert!(trace.stage_time(rai_telemetry::stage::GRADED).is_some());
+        let metrics = system.report().metrics;
+        assert_eq!(metrics.counter_total(names::JOBS_TOTAL), 1);
+        assert!(metrics.counter(names::DB_INSERTS_TOTAL, &[]).unwrap() > 0);
+        assert!(!metrics.histograms_named(names::JOB_STAGE_SECONDS).is_empty());
     }
 
     #[test]

@@ -21,8 +21,9 @@ use rai_archive::{pack, unpack};
 use rai_auth::CredentialRegistry;
 use rai_broker::{Broker, Subscription};
 use rai_db::{doc, Database, Value};
-use rai_sandbox::{Container, ImageRegistry, ResourceLimits};
+use rai_sandbox::{Container, ContainerStatus, ImageRegistry, ResourceLimits};
 use rai_sim::SimDuration;
+use rai_telemetry::{names, stage, Telemetry};
 use parking_lot::RwLock;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -88,6 +89,7 @@ pub struct Worker {
     cached_images: HashSet<String>,
     active_jobs: usize,
     rng: StdRng,
+    telemetry: Option<Telemetry>,
 }
 
 impl Worker {
@@ -113,7 +115,14 @@ impl Worker {
             cached_images: HashSet::new(),
             active_jobs: 0,
             rng,
+            telemetry: None,
         }
+    }
+
+    /// Attach a telemetry handle; stage timings, job traces, and the
+    /// active-jobs gauge are recorded through it from then on.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = Some(telemetry);
     }
 
     /// This worker's id.
@@ -155,10 +164,49 @@ impl Worker {
                 continue;
             };
             self.active_jobs += 1;
+            self.set_active_gauge();
             let outcome = self.process(&request);
             self.active_jobs -= 1;
+            self.set_active_gauge();
             self.subscription.ack(msg.id);
             return Some(outcome);
+        }
+    }
+
+    fn set_active_gauge(&self) {
+        if let Some(t) = &self.telemetry {
+            t.gauge(names::WORKER_ACTIVE_JOBS, &[("worker", &self.config.worker_id)])
+                .set(self.active_jobs as f64);
+        }
+    }
+
+    /// Count a finished job and record its end-to-end service time.
+    fn note_outcome(&self, request: &JobRequest, outcome: &str, service_time: SimDuration) {
+        if let Some(t) = &self.telemetry {
+            let kind = match request.kind {
+                JobKind::Run => "run",
+                JobKind::Submit => "submit",
+            };
+            t.counter(names::JOBS_TOTAL, &[("kind", kind), ("outcome", outcome)]).inc();
+            t.histogram(names::JOB_TOTAL_SECONDS, &[], 0.0, 30.0, 40)
+                .record(service_time.as_secs_f64());
+        }
+    }
+
+    /// Record a lifecycle stage at `started + elapsed` and its duration
+    /// since the previous stage boundary in the per-stage histogram.
+    fn note_stage(
+        &self,
+        request: &JobRequest,
+        stage_name: &'static str,
+        started: rai_sim::SimTime,
+        elapsed: SimDuration,
+        stage_secs: f64,
+    ) {
+        if let Some(t) = &self.telemetry {
+            t.trace_stage_at(request.job_id, stage_name, started + elapsed);
+            t.histogram(names::JOB_STAGE_SECONDS, &[("stage", stage_name)], 0.0, 5.0, 24)
+                .record(stage_secs);
         }
     }
 
@@ -175,6 +223,13 @@ impl Worker {
     /// and repeatable" (measured by the concurrency ablation).
     pub fn process_with_coscheduled(&mut self, request: &JobRequest, co_scheduled: usize) -> JobOutcome {
         let log_topic = routes::log_topic(request.job_id);
+        // All stage timestamps are `started + accumulated service time`:
+        // the driver advances the shared clock only after the outcome,
+        // so stamping the logical time keeps per-job traces monotone.
+        let started = self.store.clock().now();
+        if let Some(t) = &self.telemetry {
+            t.trace_stage_at(request.job_id, stage::DEQUEUED, started);
+        }
         // Bytes of log traffic this job generates (the paper reports
         // 25 GB of logs and metadata across the semester).
         let log_bytes = std::cell::Cell::new(0u64);
@@ -215,6 +270,7 @@ impl Worker {
             Err(e) => {
                 let out = fail(&self.broker, format!("authentication failed: {e}"), service_time);
                 self.record_submission(request, "auth-rejected", None, SimDuration::ZERO, false, log_bytes.get());
+                self.note_outcome(request, "auth-rejected", service_time);
                 return out;
             }
         };
@@ -225,6 +281,7 @@ impl Worker {
             Err(e) => {
                 let out = fail(&self.broker, e.to_string(), service_time);
                 self.record_submission(request, &user, None, SimDuration::ZERO, false, log_bytes.get());
+                self.note_outcome(request, "bad-spec", service_time);
                 return out;
             }
         };
@@ -235,6 +292,7 @@ impl Worker {
             Err(e) => {
                 let out = fail(&self.broker, e.to_string(), service_time);
                 self.record_submission(request, &user, None, SimDuration::ZERO, false, log_bytes.get());
+                self.note_outcome(request, "image-rejected", service_time);
                 return out;
             }
         };
@@ -245,6 +303,9 @@ impl Worker {
             );
             service_time += self.images.pull_latency(&image.name);
             self.cached_images.insert(image.name.clone());
+            if let Some(t) = &self.telemetry {
+                t.counter(names::SANDBOX_IMAGE_PULLS_TOTAL, &[]).inc();
+            }
         }
 
         // ④ Download the project archive and mount it.
@@ -258,11 +319,20 @@ impl Worker {
             Err(e) => {
                 let out = fail(&self.broker, format!("failed to fetch project: {e}"), service_time);
                 self.record_submission(request, &user, None, SimDuration::ZERO, false, log_bytes.get());
+                self.note_outcome(request, "fetch-failed", service_time);
                 return out;
             }
         };
         // Transfer latency: 100 MB/s from the file server.
+        let before_fetch = service_time;
         service_time += SimDuration::from_millis(project.total_size() / (100 * 1024) + 1);
+        self.note_stage(
+            request,
+            stage::FETCHED,
+            started,
+            service_time,
+            (service_time - before_fetch).as_secs_f64(),
+        );
 
         let mut limits = self.config.limits;
         if let Some(gpus) = spec.gpus {
@@ -288,7 +358,16 @@ impl Worker {
                 },
             );
         }
+        self.note_stage(request, stage::BUILT, started, service_time, 0.0);
         service_time += report.elapsed;
+        self.note_stage(request, stage::RAN, started, service_time, report.elapsed.as_secs_f64());
+        if let Some(t) = &self.telemetry {
+            t.histogram(names::SANDBOX_RUN_SECONDS, &[], 0.0, 5.0, 24)
+                .record(report.elapsed.as_secs_f64());
+            if matches!(report.status, ContainerStatus::Killed(_)) {
+                t.counter(names::SANDBOX_LIMIT_KILLS_TOTAL, &[]).inc();
+            }
+        }
 
         // ⑥ Upload /build and send the URL + End.
         let build_bundle = pack(&report.build_dir);
@@ -321,7 +400,15 @@ impl Worker {
                 LogFrame::BuildUrl(self.store.presign(BUILD_BUCKET, &build_key, expires)),
             );
         }
+        let before_upload = service_time;
         service_time += SimDuration::from_millis(build_bundle.uncompressed_len / (100 * 1024) + 1);
+        self.note_stage(
+            request,
+            stage::UPLOADED,
+            started,
+            service_time,
+            (service_time - before_upload).as_secs_f64(),
+        );
 
         let success = report.success();
         let measured = report.internal_timer_secs();
@@ -332,6 +419,12 @@ impl Worker {
         if request.kind == JobKind::Submit && success {
             self.record_ranking(request, measured, report.elapsed, &build_key);
         }
+        if let Some(t) = &self.telemetry {
+            t.trace_stage_at(request.job_id, stage::GRADED, started + service_time);
+            let span = t.span("worker.job").label("worker", &self.config.worker_id);
+            span.finish_at(started + service_time);
+        }
+        self.note_outcome(request, if success { "ok" } else { "failed" }, service_time);
 
         JobOutcome {
             job_id: request.job_id,

@@ -7,6 +7,7 @@ use crate::update::apply_update;
 use crate::value::{Document, Value};
 use std::collections::{BTreeMap, HashMap};
 use std::ops::Bound;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Document identifier (stored in the document as `_id`).
 pub type DocId = u64;
@@ -72,12 +73,36 @@ pub struct UpdateResult {
     pub upserted: Option<DocId>,
 }
 
+/// Cumulative operation counters for one collection.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CollectionStats {
+    /// Documents inserted (including upsert inserts).
+    pub inserts: u64,
+    /// Read operations (find/find_one/find_with/count/distinct).
+    pub queries: u64,
+    /// Write operations other than inserts (updates and deletes).
+    pub updates: u64,
+}
+
+impl CollectionStats {
+    /// Element-wise sum, for whole-database aggregation.
+    pub fn merge(&mut self, other: CollectionStats) {
+        self.inserts += other.inserts;
+        self.queries += other.queries;
+        self.updates += other.updates;
+    }
+}
+
 /// An in-memory document collection.
 #[derive(Default)]
 pub struct Collection {
     docs: BTreeMap<DocId, Document>,
     next_id: DocId,
     indexes: HashMap<String, Index>,
+    // Atomics so read-path methods (&self) can count themselves.
+    inserts: AtomicU64,
+    queries: AtomicU64,
+    updates: AtomicU64,
 }
 
 impl Collection {
@@ -96,8 +121,18 @@ impl Collection {
         self.docs.is_empty()
     }
 
+    /// Cumulative operation counters.
+    pub fn stats(&self) -> CollectionStats {
+        CollectionStats {
+            inserts: self.inserts.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            updates: self.updates.load(Ordering::Relaxed),
+        }
+    }
+
     /// Insert a document, assigning and returning its `_id`.
     pub fn insert_one(&mut self, mut doc: Document) -> DocId {
+        self.inserts.fetch_add(1, Ordering::Relaxed);
         self.next_id += 1;
         let id = self.next_id;
         doc.insert("_id", id);
@@ -187,6 +222,7 @@ impl Collection {
 
     /// All documents matching `query`, in `_id` order.
     pub fn find(&self, query: &Document) -> Vec<Document> {
+        self.queries.fetch_add(1, Ordering::Relaxed);
         match self.candidates(query) {
             Some(mut ids) => {
                 ids.sort_unstable();
@@ -207,6 +243,7 @@ impl Collection {
 
     /// First matching document.
     pub fn find_one(&self, query: &Document) -> Option<Document> {
+        self.queries.fetch_add(1, Ordering::Relaxed);
         match self.candidates(query) {
             Some(mut ids) => {
                 ids.sort_unstable();
@@ -244,6 +281,7 @@ impl Collection {
 
     /// Count matching documents.
     pub fn count(&self, query: &Document) -> usize {
+        self.queries.fetch_add(1, Ordering::Relaxed);
         match self.candidates(query) {
             Some(ids) => ids
                 .iter()
@@ -256,6 +294,7 @@ impl Collection {
 
     /// Distinct values of `field` among matching documents.
     pub fn distinct(&self, field: &str, query: &Document) -> Vec<Value> {
+        self.queries.fetch_add(1, Ordering::Relaxed);
         let mut out: Vec<Value> = Vec::new();
         for d in self.docs.values().filter(|d| matches(query, d)) {
             if let Some(v) = d.get_path(field) {
@@ -285,6 +324,7 @@ impl Collection {
 
     /// Update every matching document.
     pub fn update_many(&mut self, query: &Document, update: &Document) -> UpdateResult {
+        self.updates.fetch_add(1, Ordering::Relaxed);
         let ids: Vec<DocId> = match self.candidates(query) {
             Some(ids) => ids
                 .into_iter()
@@ -318,6 +358,7 @@ impl Collection {
     /// fields seed the new document — this is how RAI's ranking table
     /// does "overwrite existing timing records" per team.
     pub fn update_one(&mut self, query: &Document, update: &Document, upsert: bool) -> UpdateResult {
+        self.updates.fetch_add(1, Ordering::Relaxed);
         let id = match self.candidates(query) {
             Some(mut ids) => {
                 ids.sort_unstable();
@@ -366,6 +407,7 @@ impl Collection {
 
     /// Delete every matching document; returns how many were removed.
     pub fn delete_many(&mut self, query: &Document) -> usize {
+        self.updates.fetch_add(1, Ordering::Relaxed);
         let ids: Vec<DocId> = self
             .docs
             .iter()

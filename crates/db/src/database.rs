@@ -1,6 +1,6 @@
 //! The thread-safe database handle: named collections behind RwLocks.
 
-use crate::collection::Collection;
+use crate::collection::{Collection, CollectionStats};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -38,6 +38,24 @@ impl Database {
     /// Drop a collection; returns whether it existed.
     pub fn drop_collection(&self, name: &str) -> bool {
         self.collections.write().remove(name).is_some()
+    }
+
+    /// Per-collection operation counters, sorted by collection name.
+    pub fn stats(&self) -> Vec<(String, CollectionStats)> {
+        self.collections
+            .read()
+            .iter()
+            .map(|(name, coll)| (name.clone(), coll.read().stats()))
+            .collect()
+    }
+
+    /// Whole-database operation counters.
+    pub fn total_stats(&self) -> CollectionStats {
+        let mut total = CollectionStats::default();
+        for (_, stats) in self.stats() {
+            total.merge(stats);
+        }
+        total
     }
 }
 
@@ -86,6 +104,25 @@ mod tests {
             .map(|n| db.collection(n).read().len())
             .sum();
         assert_eq!(total, 800);
+    }
+
+    #[test]
+    fn operation_counters_accumulate() {
+        let db = Database::new();
+        let coll = db.collection("submissions");
+        coll.write().insert_one(doc! { "n" => 1 });
+        coll.write().insert_one(doc! { "n" => 2 });
+        coll.read().find(&doc! { "n" => 1 });
+        coll.read().find_one(&doc! { "n" => 2 });
+        coll.write().update_many(&doc! { "n" => 1 }, &doc! { "$set" => doc!{ "n" => 3 } });
+        let stats = db.total_stats();
+        assert_eq!(stats.inserts, 2);
+        assert_eq!(stats.queries, 2);
+        assert_eq!(stats.updates, 1);
+        let per = db.stats();
+        assert_eq!(per.len(), 1);
+        assert_eq!(per[0].0, "submissions");
+        assert_eq!(per[0].1, stats);
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod update;
 pub mod value;
 
 pub use aggregate::{aggregate, Accumulator, Stage};
-pub use collection::{Collection, DocId, FindOptions, SortOrder};
+pub use collection::{Collection, CollectionStats, DocId, FindOptions, SortOrder};
 pub use database::Database;
 pub use query::matches;
 pub use update::apply_update;

@@ -13,17 +13,16 @@
 //! * [`engine`] — a classic event-calendar discrete-event engine:
 //!   schedule closures at future instants, run to quiescence or a
 //!   horizon.
-//! * [`stats`] — the small statistics toolkit used by the benchmark
-//!   harness: online mean/variance, fixed-width histograms (paper
-//!   Fig. 2), time-bucketed series (paper Fig. 4) and percentile
-//!   summaries.
+//!
+//! The statistics toolkit (online mean/variance, histograms,
+//! time-bucketed series, percentiles) that used to live here moved to
+//! `rai-telemetry`, which also layers a metrics registry, spans, and
+//! per-job traces on top of this crate's virtual clock.
 
 pub mod clock;
 pub mod engine;
-pub mod stats;
 pub mod time;
 
 pub use clock::VirtualClock;
 pub use engine::{EventId, Scheduler, Simulation};
-pub use stats::{Histogram, OnlineStats, Percentiles, TimeSeries};
 pub use time::{SimDuration, SimTime};

@@ -1,7 +1,10 @@
-//! Property tests for the discrete-event engine and statistics.
+//! Property tests for the discrete-event engine.
+//!
+//! The statistics property tests moved to `rai-telemetry` along with
+//! the stats toolkit itself.
 
 use proptest::prelude::*;
-use rai_sim::{Histogram, OnlineStats, SimDuration, SimTime, Simulation, TimeSeries};
+use rai_sim::{SimTime, Simulation};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
@@ -38,69 +41,5 @@ proptest! {
         for w in observed.windows(2) {
             prop_assert!(w[0] <= w[1]);
         }
-    }
-
-    /// TimeSeries conserves events: total == number of in-range records.
-    #[test]
-    fn time_series_conserves(
-        events in prop::collection::vec(0u64..1_000_000, 0..100),
-        bucket_ms in 1u64..10_000,
-        start in 0u64..500_000,
-    ) {
-        let mut ts = TimeSeries::new(SimTime::from_millis(start), SimDuration::from_millis(bucket_ms));
-        let mut expected = 0u64;
-        for &e in &events {
-            ts.record(SimTime::from_millis(e));
-            if e >= start {
-                expected += 1;
-            }
-        }
-        prop_assert_eq!(ts.total(), expected);
-        prop_assert_eq!(ts.counts().iter().sum::<u64>(), expected);
-    }
-
-    /// Histogram conserves observations across bins + overflow.
-    #[test]
-    fn histogram_conserves(xs in prop::collection::vec(-50.0f64..500.0, 0..100)) {
-        let mut h = Histogram::new(0.0, 0.1, 25);
-        for &x in &xs {
-            h.record(x);
-        }
-        let binned: u64 = (0..h.num_bins()).map(|i| h.bin(i)).sum();
-        prop_assert_eq!(binned + h.overflow(), xs.len() as u64);
-        prop_assert_eq!(h.total(), xs.len() as u64);
-    }
-
-    /// OnlineStats matches a naive two-pass computation.
-    #[test]
-    fn online_stats_matches_naive(xs in prop::collection::vec(-1e3f64..1e3, 1..100)) {
-        let mut s = OnlineStats::new();
-        for &x in &xs {
-            s.push(x);
-        }
-        let n = xs.len() as f64;
-        let mean = xs.iter().sum::<f64>() / n;
-        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
-        prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
-        prop_assert!((s.variance() - var).abs() < 1e-5 * (1.0 + var.abs()));
-    }
-
-    /// Merging stats in any split equals the sequential result.
-    #[test]
-    fn stats_merge_associative(xs in prop::collection::vec(-1e3f64..1e3, 2..60), split in 1usize..59) {
-        let split = split.min(xs.len() - 1);
-        let mut whole = OnlineStats::new();
-        for &x in &xs {
-            whole.push(x);
-        }
-        let (left, right) = xs.split_at(split);
-        let mut a = OnlineStats::new();
-        for &x in left { a.push(x); }
-        let mut b = OnlineStats::new();
-        for &x in right { b.push(x); }
-        a.merge(&b);
-        prop_assert_eq!(a.count(), whole.count());
-        prop_assert!((a.mean() - whole.mean()).abs() < 1e-7 * (1.0 + whole.mean().abs()));
-        prop_assert!((a.variance() - whole.variance()).abs() < 1e-5 * (1.0 + whole.variance()));
     }
 }

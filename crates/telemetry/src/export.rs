@@ -1,0 +1,410 @@
+//! Metric exposition: Prometheus text format and JSON.
+//!
+//! Histograms follow the Prometheus convention: cumulative `_bucket`
+//! series with an `le` label, plus `_sum` and `_count`. Samples below
+//! the histogram origin fold into every cumulative bucket (they are
+//! `<= le` for all finite `le`); overflow appears only in `+Inf`.
+
+use crate::json::{self, Value};
+use crate::registry::{MetricKey, MetricsSnapshot};
+use crate::stats::Histogram;
+use std::fmt::Write as _;
+
+/// Render a snapshot in the Prometheus text exposition format.
+pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (key, value) in &snapshot.counters {
+        let _ = writeln!(out, "# TYPE {} counter", key.name);
+        let _ = writeln!(out, "{} {}", key.render(), value);
+    }
+    for (key, value) in &snapshot.gauges {
+        let _ = writeln!(out, "# TYPE {} gauge", key.name);
+        let _ = writeln!(out, "{} {}", key.render(), format_f64(*value));
+    }
+    for (key, hist) in &snapshot.histograms {
+        let _ = writeln!(out, "# TYPE {} histogram", key.name);
+        let mut cumulative = hist.underflow();
+        for i in 0..hist.num_bins() {
+            cumulative += hist.bin(i);
+            let (_, hi) = hist.bin_range(i);
+            let bucket_key = with_label(key, "le", &format_f64(hi));
+            let _ = writeln!(out, "{}_bucket{} {}", key.name, bucket_key, cumulative);
+        }
+        cumulative += hist.overflow();
+        let inf_key = with_label(key, "le", "+Inf");
+        let _ = writeln!(out, "{}_bucket{} {}", key.name, inf_key, cumulative);
+        let _ = writeln!(out, "{}_sum{} {}", key.name, label_block(key), format_f64(hist.sum()));
+        let _ = writeln!(out, "{}_count{} {}", key.name, label_block(key), hist.total());
+    }
+    out
+}
+
+/// Render a snapshot as a JSON document.
+pub fn render_json(snapshot: &MetricsSnapshot) -> String {
+    let mut doc = Value::object();
+
+    let counters: Vec<Value> = snapshot
+        .counters
+        .iter()
+        .map(|(key, value)| {
+            let mut entry = metric_entry(key);
+            entry.set("value", (*value).into());
+            entry
+        })
+        .collect();
+    doc.set("counters", counters.into());
+
+    let gauges: Vec<Value> = snapshot
+        .gauges
+        .iter()
+        .map(|(key, value)| {
+            let mut entry = metric_entry(key);
+            entry.set("value", (*value).into());
+            entry
+        })
+        .collect();
+    doc.set("gauges", gauges.into());
+
+    let histograms: Vec<Value> = snapshot
+        .histograms
+        .iter()
+        .map(|(key, hist)| {
+            let mut entry = metric_entry(key);
+            entry.set("origin", hist.origin().into());
+            entry.set("bin_width", hist.bin_width().into());
+            entry.set(
+                "bins",
+                Value::Array((0..hist.num_bins()).map(|i| hist.bin(i).into()).collect()),
+            );
+            entry.set("underflow", hist.underflow().into());
+            entry.set("overflow", hist.overflow().into());
+            entry.set("sum", hist.sum().into());
+            entry.set("count", hist.total().into());
+            entry
+        })
+        .collect();
+    doc.set("histograms", histograms.into());
+
+    doc.render()
+}
+
+fn metric_entry(key: &MetricKey) -> Value {
+    let mut entry = Value::object();
+    entry.set("name", key.name.as_str().into());
+    let mut labels = Value::object();
+    for (k, v) in &key.labels {
+        labels.set(k, v.as_str().into());
+    }
+    entry.set("labels", labels);
+    entry
+}
+
+/// `{a="1",b="2"}` or empty string when there are no labels.
+fn label_block(key: &MetricKey) -> String {
+    if key.labels.is_empty() {
+        String::new()
+    } else {
+        let rendered = key.render();
+        rendered[key.name.len()..].to_string()
+    }
+}
+
+/// Label block with one extra pair appended (for `le`).
+fn with_label(key: &MetricKey, extra_key: &str, extra_value: &str) -> String {
+    let mut pairs: Vec<String> = key
+        .labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{v}\""))
+        .collect();
+    pairs.push(format!("{extra_key}=\"{extra_value}\""));
+    format!("{{{}}}", pairs.join(","))
+}
+
+fn format_f64(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else if v.fract() == 0.0 && v.abs() < 9e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// One sample parsed back out of the Prometheus text format.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PromSample {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+    pub value: f64,
+}
+
+/// Parse the Prometheus text exposition format back into samples.
+/// Comment (`#`) and blank lines are skipped. Used by the round-trip
+/// tests and by bench bins that diff two snapshots.
+pub fn parse_prometheus(text: &str) -> Result<Vec<PromSample>, String> {
+    let mut samples = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let sample = parse_sample_line(line)
+            .map_err(|e| format!("line {}: {e}: {line:?}", lineno + 1))?;
+        samples.push(sample);
+    }
+    Ok(samples)
+}
+
+fn parse_sample_line(line: &str) -> Result<PromSample, String> {
+    let (name_part, value_part) = match line.find('{') {
+        Some(_) => {
+            let close = line.rfind('}').ok_or("unclosed label block")?;
+            (&line[..close + 1], line[close + 1..].trim())
+        }
+        None => {
+            let space = line.find(' ').ok_or("missing value")?;
+            (&line[..space], line[space..].trim())
+        }
+    };
+    let value = match value_part {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        v => v.parse::<f64>().map_err(|_| "bad value")?,
+    };
+
+    let (name, labels) = match name_part.find('{') {
+        None => (name_part.to_string(), Vec::new()),
+        Some(brace) => {
+            let name = name_part[..brace].to_string();
+            let body = &name_part[brace + 1..name_part.len() - 1];
+            (name, parse_labels(body)?)
+        }
+    };
+    Ok(PromSample { name, labels, value })
+}
+
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        let eq = rest.find('=').ok_or("label missing '='")?;
+        let key = rest[..eq].trim().to_string();
+        rest = &rest[eq + 1..];
+        if !rest.starts_with('"') {
+            return Err("label value not quoted".to_string());
+        }
+        rest = &rest[1..];
+        let mut value = String::new();
+        let mut chars = rest.char_indices();
+        let mut consumed = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, escaped)) => value.push(escaped),
+                    None => return Err("dangling escape".to_string()),
+                },
+                '"' => {
+                    consumed = Some(i + 1);
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        let consumed = consumed.ok_or("unterminated label value")?;
+        labels.push((key, value));
+        rest = rest[consumed..].trim_start_matches(',');
+    }
+    Ok(labels)
+}
+
+/// Parse a JSON exposition document back into a structured snapshot
+/// shape (used by round-trip tests).
+pub fn parse_json_snapshot(text: &str) -> Result<MetricsSnapshot, String> {
+    let doc = json::parse(text).map_err(|e| e.to_string())?;
+    let mut snapshot = MetricsSnapshot::default();
+
+    for entry in doc
+        .get("counters")
+        .and_then(Value::as_array)
+        .ok_or("missing counters")?
+    {
+        let (key, _) = parse_entry_key(entry)?;
+        let value = entry
+            .get("value")
+            .and_then(Value::as_f64)
+            .ok_or("counter missing value")?;
+        snapshot.counters.push((key, value as u64));
+    }
+
+    for entry in doc
+        .get("gauges")
+        .and_then(Value::as_array)
+        .ok_or("missing gauges")?
+    {
+        let (key, _) = parse_entry_key(entry)?;
+        let value = entry
+            .get("value")
+            .and_then(Value::as_f64)
+            .ok_or("gauge missing value")?;
+        snapshot.gauges.push((key, value));
+    }
+
+    for entry in doc
+        .get("histograms")
+        .and_then(Value::as_array)
+        .ok_or("missing histograms")?
+    {
+        let (key, _) = parse_entry_key(entry)?;
+        let origin = entry
+            .get("origin")
+            .and_then(Value::as_f64)
+            .ok_or("histogram missing origin")?;
+        let bin_width = entry
+            .get("bin_width")
+            .and_then(Value::as_f64)
+            .ok_or("histogram missing bin_width")?;
+        let bins = entry
+            .get("bins")
+            .and_then(Value::as_array)
+            .ok_or("histogram missing bins")?;
+        let mut hist = Histogram::new(origin, bin_width, bins.len().max(1));
+        // Rebuild counts by recording representative values per bin.
+        for (i, count) in bins.iter().enumerate() {
+            let count = count.as_f64().ok_or("bad bin count")? as u64;
+            let (lo, hi) = hist.bin_range(i);
+            let mid = (lo + hi) / 2.0;
+            for _ in 0..count {
+                hist.record(mid);
+            }
+        }
+        snapshot.histograms.push((key, hist));
+    }
+
+    Ok(snapshot)
+}
+
+fn parse_entry_key(entry: &Value) -> Result<(MetricKey, ()), String> {
+    let name = entry
+        .get("name")
+        .and_then(Value::as_str)
+        .ok_or("entry missing name")?;
+    let mut labels: Vec<(String, String)> = Vec::new();
+    if let Some(Value::Object(map)) = entry.get("labels") {
+        for (k, v) in map {
+            labels.push((
+                k.clone(),
+                v.as_str().ok_or("label not a string")?.to_string(),
+            ));
+        }
+    }
+    labels.sort();
+    Ok((MetricKey { name: name.to_string(), labels }, ()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    fn sample_registry() -> MetricsRegistry {
+        let reg = MetricsRegistry::new();
+        reg.counter("rai_jobs_total", &[("kind", "submit"), ("outcome", "ok")])
+            .add(12);
+        reg.counter("rai_broker_published_total", &[]).add(9);
+        reg.gauge("rai_worker_active_jobs", &[("worker", "w0")]).set(2.5);
+        let h = reg.histogram("rai_job_stage_seconds", &[("stage", "run")], 0.0, 1.0, 4);
+        h.record(-0.5); // underflow
+        h.record(0.5);
+        h.record(2.5);
+        h.record(99.0); // overflow
+        reg
+    }
+
+    #[test]
+    fn prometheus_text_round_trips() {
+        let snapshot = sample_registry().snapshot();
+        let text = render_prometheus(&snapshot);
+        let samples = parse_prometheus(&text).expect("parses");
+
+        let find = |name: &str, labels: &[(&str, &str)]| -> f64 {
+            samples
+                .iter()
+                .find(|s| {
+                    s.name == name
+                        && s.labels
+                            == labels
+                                .iter()
+                                .map(|(k, v)| (k.to_string(), v.to_string()))
+                                .collect::<Vec<_>>()
+                })
+                .unwrap_or_else(|| panic!("sample {name} {labels:?} missing"))
+                .value
+        };
+
+        assert_eq!(find("rai_jobs_total", &[("kind", "submit"), ("outcome", "ok")]), 12.0);
+        assert_eq!(find("rai_broker_published_total", &[]), 9.0);
+        assert_eq!(find("rai_worker_active_jobs", &[("worker", "w0")]), 2.5);
+        // Cumulative buckets: underflow counts toward every bucket.
+        assert_eq!(find("rai_job_stage_seconds_bucket", &[("stage", "run"), ("le", "1")]), 2.0);
+        assert_eq!(find("rai_job_stage_seconds_bucket", &[("stage", "run"), ("le", "3")]), 3.0);
+        assert_eq!(
+            find("rai_job_stage_seconds_bucket", &[("stage", "run"), ("le", "+Inf")]),
+            4.0
+        );
+        assert_eq!(find("rai_job_stage_seconds_count", &[("stage", "run")]), 4.0);
+        assert_eq!(find("rai_job_stage_seconds_sum", &[("stage", "run")]), 101.5);
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone() {
+        let snapshot = sample_registry().snapshot();
+        let text = render_prometheus(&snapshot);
+        let samples = parse_prometheus(&text).expect("parses");
+        let mut buckets: Vec<(f64, f64)> = samples
+            .iter()
+            .filter(|s| s.name == "rai_job_stage_seconds_bucket")
+            .map(|s| {
+                let le = s
+                    .labels
+                    .iter()
+                    .find(|(k, _)| k == "le")
+                    .map(|(_, v)| if v == "+Inf" { f64::INFINITY } else { v.parse().unwrap() })
+                    .expect("le label");
+                (le, s.value)
+            })
+            .collect();
+        buckets.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("comparable"));
+        assert!(buckets.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let snapshot = sample_registry().snapshot();
+        let text = render_json(&snapshot);
+        let parsed = parse_json_snapshot(&text).expect("parses");
+
+        assert_eq!(parsed.counters, snapshot.counters);
+        assert_eq!(parsed.gauges, snapshot.gauges);
+        assert_eq!(parsed.histograms.len(), snapshot.histograms.len());
+        for ((pk, ph), (sk, sh)) in parsed.histograms.iter().zip(&snapshot.histograms) {
+            assert_eq!(pk, sk);
+            assert_eq!(ph.num_bins(), sh.num_bins());
+            for i in 0..sh.num_bins() {
+                assert_eq!(ph.bin(i), sh.bin(i), "bin {i} of {}", sk.name);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_renders_and_parses() {
+        let snapshot = MetricsRegistry::new().snapshot();
+        assert_eq!(parse_prometheus(&render_prometheus(&snapshot)).expect("parses"), vec![]);
+        let parsed = parse_json_snapshot(&render_json(&snapshot)).expect("parses");
+        assert!(parsed.counters.is_empty());
+        assert!(parsed.gauges.is_empty());
+        assert!(parsed.histograms.is_empty());
+    }
+}

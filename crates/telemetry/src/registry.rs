@@ -1,0 +1,333 @@
+//! Thread-safe metrics registry: counters, gauges, and fixed-bucket
+//! histograms, addressed by `(name, sorted label set)`.
+//!
+//! Handles returned by the registry are cheap `Arc` clones — hot paths
+//! acquire their handle once and then update lock-free (counters,
+//! gauges) or under a short per-metric mutex (histograms).
+
+use crate::stats::Histogram;
+use parking_lot::{Mutex, RwLock};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Metric identity: name plus a sorted list of label pairs.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MetricKey {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        MetricKey { name: name.to_string(), labels }
+    }
+
+    /// `name{k="v",…}` rendering shared by exposition and debugging.
+    pub fn render(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.clone();
+        }
+        let labels: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+            .collect();
+        format!("{}{{{}}}", self.name, labels.join(","))
+    }
+}
+
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Monotonically increasing counter handle.
+#[derive(Clone, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrite with an absolute value — used by pull-style collectors
+    /// that mirror an existing cumulative counter into the registry.
+    pub fn store(&self, n: u64) {
+        self.0.store(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous value handle (f64 stored as bits in an atomic).
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn add(&self, delta: f64) {
+        let mut current = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + delta).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    pub fn sub(&self, delta: f64) {
+        self.add(-delta);
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Shared histogram handle.
+#[derive(Clone, Debug)]
+pub struct HistogramHandle(Arc<Mutex<Histogram>>);
+
+impl HistogramHandle {
+    pub fn record(&self, x: f64) {
+        self.0.lock().record(x);
+    }
+
+    pub fn snapshot(&self) -> Histogram {
+        self.0.lock().clone()
+    }
+}
+
+/// Point-in-time copy of every registered metric, sorted by key.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<(MetricKey, u64)>,
+    pub gauges: Vec<(MetricKey, f64)>,
+    pub histograms: Vec<(MetricKey, Histogram)>,
+}
+
+impl MetricsSnapshot {
+    /// Sum of a counter across all label sets.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.name == name)
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Exact counter lookup.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let key = MetricKey::new(name, labels);
+        self.counters.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+
+    /// Exact gauge lookup.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let key = MetricKey::new(name, labels);
+        self.gauges.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+
+    /// All gauges with the given metric name.
+    pub fn gauges_named(&self, name: &str) -> Vec<(&MetricKey, f64)> {
+        self.gauges
+            .iter()
+            .filter(|(k, _)| k.name == name)
+            .map(|(k, v)| (k, *v))
+            .collect()
+    }
+
+    /// Exact histogram lookup.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Histogram> {
+        let key = MetricKey::new(name, labels);
+        self.histograms.iter().find(|(k, _)| *k == key).map(|(_, h)| h)
+    }
+
+    /// All histograms with the given metric name.
+    pub fn histograms_named(&self, name: &str) -> Vec<(&MetricKey, &Histogram)> {
+        self.histograms
+            .iter()
+            .filter(|(k, _)| k.name == name)
+            .map(|(k, h)| (k, h))
+            .collect()
+    }
+}
+
+/// The registry proper.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<MetricKey, Arc<AtomicU64>>>,
+    gauges: RwLock<BTreeMap<MetricKey, Arc<AtomicU64>>>,
+    histograms: RwLock<BTreeMap<MetricKey, Arc<Mutex<Histogram>>>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create a counter.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let key = MetricKey::new(name, labels);
+        if let Some(cell) = self.counters.read().get(&key) {
+            return Counter(Arc::clone(cell));
+        }
+        let mut counters = self.counters.write();
+        let cell = counters.entry(key).or_insert_with(|| Arc::new(AtomicU64::new(0)));
+        Counter(Arc::clone(cell))
+    }
+
+    /// Get or create a gauge.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = MetricKey::new(name, labels);
+        if let Some(cell) = self.gauges.read().get(&key) {
+            return Gauge(Arc::clone(cell));
+        }
+        let mut gauges = self.gauges.write();
+        let cell = gauges
+            .entry(key)
+            .or_insert_with(|| Arc::new(AtomicU64::new(0.0f64.to_bits())));
+        Gauge(Arc::clone(cell))
+    }
+
+    /// Get or create a fixed-bucket histogram. The shape parameters
+    /// apply only on first creation; later callers share the existing
+    /// histogram regardless of the shape they pass.
+    pub fn histogram(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        origin: f64,
+        bin_width: f64,
+        nbins: usize,
+    ) -> HistogramHandle {
+        let key = MetricKey::new(name, labels);
+        if let Some(cell) = self.histograms.read().get(&key) {
+            return HistogramHandle(Arc::clone(cell));
+        }
+        let mut histograms = self.histograms.write();
+        let cell = histograms
+            .entry(key)
+            .or_insert_with(|| Arc::new(Mutex::new(Histogram::new(origin, bin_width, nbins))));
+        HistogramHandle(Arc::clone(cell))
+    }
+
+    /// Copy out every metric, sorted by key.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .iter()
+                .map(|(k, h)| (k.clone(), h.lock().clone()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_share_state() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("jobs_total", &[("kind", "run")]);
+        let b = reg.counter("jobs_total", &[("kind", "run")]);
+        a.inc();
+        b.add(4);
+        assert_eq!(a.get(), 5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("jobs_total", &[("kind", "run")]), Some(5));
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let reg = MetricsRegistry::new();
+        reg.counter("m", &[("a", "1"), ("b", "2")]).inc();
+        reg.counter("m", &[("b", "2"), ("a", "1")]).inc();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters.len(), 1);
+        assert_eq!(snap.counter_total("m"), 2);
+    }
+
+    #[test]
+    fn gauge_set_add_sub() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("pool_size", &[]);
+        g.set(4.0);
+        g.add(2.0);
+        g.sub(1.0);
+        assert_eq!(g.get(), 5.0);
+        assert_eq!(reg.snapshot().gauge("pool_size", &[]), Some(5.0));
+    }
+
+    #[test]
+    fn histogram_records_through_handle() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("latency", &[("stage", "run")], 0.0, 0.5, 10);
+        h.record(0.7);
+        h.record(1.2);
+        let snap = reg.snapshot();
+        let hist = snap.histogram("latency", &[("stage", "run")]).expect("present");
+        assert_eq!(hist.total(), 2);
+        assert_eq!(hist.bin(1), 1);
+        assert_eq!(hist.bin(2), 1);
+    }
+
+    #[test]
+    fn key_render_is_prometheus_shaped() {
+        let key = MetricKey::new("rai_jobs_total", &[("kind", "submit"), ("outcome", "ok")]);
+        assert_eq!(key.render(), "rai_jobs_total{kind=\"submit\",outcome=\"ok\"}");
+        assert_eq!(MetricKey::new("up", &[]).render(), "up");
+    }
+
+    #[test]
+    fn concurrent_increments_sum() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let reg = Arc::clone(&reg);
+            handles.push(std::thread::spawn(move || {
+                let c = reg.counter("contended", &[]);
+                for _ in 0..10_000 {
+                    c.inc();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("thread finished");
+        }
+        assert_eq!(reg.snapshot().counter_total("contended"), 80_000);
+    }
+}

@@ -1,0 +1,179 @@
+//! Lightweight spans stamped with virtual-clock time.
+//!
+//! A span marks a named region of work (`broker.publish`,
+//! `worker.build`, …) with a start and end in sim-time. Spans are
+//! recorded into a bounded in-memory collector; there is no sampling —
+//! the discrete-event workloads here are small enough to keep every
+//! span, and the cap only guards against runaway loops.
+
+use parking_lot::Mutex;
+use rai_sim::{SimDuration, SimTime, VirtualClock};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Completed span: a named interval of sim-time with optional labels.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanRecord {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+    pub start: SimTime,
+    pub end: SimTime,
+}
+
+impl SpanRecord {
+    pub fn duration(&self) -> SimDuration {
+        self.end.duration_since(self.start)
+    }
+}
+
+/// Bounded collector of finished spans.
+#[derive(Debug)]
+pub struct SpanCollector {
+    clock: VirtualClock,
+    spans: Mutex<VecDeque<SpanRecord>>,
+    capacity: usize,
+}
+
+/// Default span retention; a semester run emits well under this.
+pub const DEFAULT_SPAN_CAPACITY: usize = 65_536;
+
+impl SpanCollector {
+    pub fn new(clock: VirtualClock) -> Self {
+        SpanCollector {
+            clock,
+            spans: Mutex::new(VecDeque::new()),
+            capacity: DEFAULT_SPAN_CAPACITY,
+        }
+    }
+
+    /// Start a span at the current sim-time. The span is recorded when
+    /// [`Span::finish`] (or [`Span::finish_at`]) is called; a dropped
+    /// unfinished span is discarded silently.
+    pub fn start(self: &Arc<Self>, name: &str) -> Span {
+        Span {
+            collector: Arc::clone(self),
+            name: name.to_string(),
+            labels: Vec::new(),
+            start: self.clock.now(),
+        }
+    }
+
+    fn record(&self, record: SpanRecord) {
+        let mut spans = self.spans.lock();
+        if spans.len() == self.capacity {
+            spans.pop_front();
+        }
+        spans.push_back(record);
+    }
+
+    /// Copy of every retained span, oldest first.
+    pub fn finished(&self) -> Vec<SpanRecord> {
+        self.spans.lock().iter().cloned().collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.spans.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.spans.lock().is_empty()
+    }
+}
+
+/// An in-flight span. Finish it explicitly to record it.
+#[derive(Debug)]
+pub struct Span {
+    collector: Arc<SpanCollector>,
+    name: String,
+    labels: Vec<(String, String)>,
+    start: SimTime,
+}
+
+impl Span {
+    /// Attach a label; chainable.
+    pub fn label(mut self, key: &str, value: &str) -> Self {
+        self.labels.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    pub fn start_time(&self) -> SimTime {
+        self.start
+    }
+
+    /// Finish at the clock's current sim-time.
+    pub fn finish(self) {
+        let end = self.collector.clock.now();
+        self.finish_at(end);
+    }
+
+    /// Finish at an explicit sim-time. Workers account service time
+    /// additively before the engine advances the shared clock, so they
+    /// stamp the logical end rather than the (still earlier) clock
+    /// reading. Ends before the start are clamped to the start.
+    pub fn finish_at(self, end: SimTime) {
+        let end = end.max(self.start);
+        self.collector.record(SpanRecord {
+            name: self.name,
+            labels: self.labels,
+            start: self.start,
+            end,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_interval() {
+        let clock = VirtualClock::new();
+        let collector = Arc::new(SpanCollector::new(clock.clone()));
+        let span = collector.start("worker.build").label("worker", "w0");
+        clock.advance(SimDuration::from_secs(3));
+        span.finish();
+        let spans = collector.finished();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "worker.build");
+        assert_eq!(spans[0].labels, vec![("worker".to_string(), "w0".to_string())]);
+        assert_eq!(spans[0].duration(), SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn finish_at_stamps_logical_end() {
+        let clock = VirtualClock::starting_at(SimTime::from_secs(10));
+        let collector = Arc::new(SpanCollector::new(clock.clone()));
+        let span = collector.start("worker.run");
+        span.finish_at(SimTime::from_secs(14));
+        let spans = collector.finished();
+        assert_eq!(spans[0].start, SimTime::from_secs(10));
+        assert_eq!(spans[0].end, SimTime::from_secs(14));
+    }
+
+    #[test]
+    fn finish_before_start_clamps() {
+        let clock = VirtualClock::starting_at(SimTime::from_secs(5));
+        let collector = Arc::new(SpanCollector::new(clock.clone()));
+        let span = collector.start("odd");
+        span.finish_at(SimTime::from_secs(1));
+        let spans = collector.finished();
+        assert_eq!(spans[0].duration(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn collector_is_bounded() {
+        let clock = VirtualClock::new();
+        let collector = Arc::new(SpanCollector {
+            clock: clock.clone(),
+            spans: Mutex::new(VecDeque::new()),
+            capacity: 4,
+        });
+        for i in 0..6 {
+            collector.start(&format!("s{i}")).finish();
+        }
+        let spans = collector.finished();
+        assert_eq!(spans.len(), 4);
+        assert_eq!(spans[0].name, "s2");
+        assert_eq!(spans[3].name, "s5");
+    }
+}

@@ -1,13 +1,18 @@
-//! Statistics helpers used by the experiment harness.
+//! Statistics primitives shared across the workspace.
 //!
 //! * [`OnlineStats`] — Welford's streaming mean/variance plus min/max.
-//! * [`Histogram`] — fixed-width binning (paper Fig. 2 uses 0.1 s bins).
+//! * [`Histogram`] — fixed-width binning (paper Fig. 2 uses 0.1 s bins)
+//!   with explicit underflow/overflow buckets and parallel merge.
 //! * [`TimeSeries`] — event counts bucketed by a fixed interval of
 //!   virtual time (paper Fig. 4 uses 1-hour buckets).
 //! * [`Percentiles`] — exact percentiles over a retained sample vector,
 //!   used for queue-wait summaries in the scalability experiments.
+//!
+//! This module moved here from `rai-sim` so every crate (workload,
+//! bench, core ranking, and the metrics registry itself) consumes one
+//! shared implementation.
 
-use crate::time::{SimDuration, SimTime};
+use rai_sim::{SimDuration, SimTime};
 use std::fmt;
 
 /// Streaming univariate statistics (Welford's algorithm).
@@ -100,6 +105,11 @@ impl OnlineStats {
     }
 
     /// Merge another accumulator into this one (parallel-combine).
+    ///
+    /// Zero-count operands are identity elements on either side: the
+    /// non-empty operand's statistics survive unchanged, and merging
+    /// two empty accumulators leaves an empty accumulator whose
+    /// `min`/`max` still report NaN rather than ±infinity.
     pub fn merge(&mut self, other: &OnlineStats) {
         if other.n == 0 {
             return;
@@ -121,20 +131,24 @@ impl OnlineStats {
 }
 
 /// A fixed-bin-width histogram over `f64` observations, as used for the
-/// paper's Fig. 2 ("each bin in the histogram is 0.1 second interval").
+/// paper's Fig. 2 ("each bin in the histogram is 0.1 second interval")
+/// and the telemetry registry's latency metrics.
 #[derive(Clone, Debug)]
 pub struct Histogram {
     bin_width: f64,
     origin: f64,
     bins: Vec<u64>,
     total: u64,
+    sum: f64,
+    underflow: u64,
     overflow: u64,
 }
 
 impl Histogram {
     /// A histogram with `nbins` bins of width `bin_width` starting at
-    /// `origin`. Observations beyond the last bin are counted in an
-    /// overflow bucket rather than dropped.
+    /// `origin`. Observations outside the binned range are counted in
+    /// explicit underflow/overflow buckets rather than dropped or
+    /// silently clamped.
     pub fn new(origin: f64, bin_width: f64, nbins: usize) -> Self {
         assert!(bin_width > 0.0, "bin width must be positive");
         assert!(nbins > 0, "need at least one bin");
@@ -143,17 +157,21 @@ impl Histogram {
             origin,
             bins: vec![0; nbins],
             total: 0,
+            sum: 0.0,
+            underflow: 0,
             overflow: 0,
         }
     }
 
-    /// Record one observation. Values below the origin clamp into the
-    /// first bin.
+    /// Record one observation. Values below the origin are counted in
+    /// the underflow bucket (they used to clamp into the first bin,
+    /// which silently distorted the first bin's count).
     pub fn record(&mut self, x: f64) {
         self.total += 1;
+        self.sum += x;
         let rel = (x - self.origin) / self.bin_width;
         if rel < 0.0 {
-            self.bins[0] += 1;
+            self.underflow += 1;
         } else if (rel as usize) < self.bins.len() {
             self.bins[rel as usize] += 1;
         } else {
@@ -177,6 +195,21 @@ impl Histogram {
         self.bins.len()
     }
 
+    /// Lower bound of the first bin.
+    pub fn origin(&self) -> f64 {
+        self.origin
+    }
+
+    /// Width of each bin.
+    pub fn bin_width(&self) -> f64 {
+        self.bin_width
+    }
+
+    /// Observations below the origin.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
     /// Observations past the last bin.
     pub fn overflow(&self) -> u64 {
         self.overflow
@@ -187,6 +220,11 @@ impl Histogram {
         self.total
     }
 
+    /// Sum of all recorded observations (Prometheus `_sum`).
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
     /// Iterator of `(lo, hi, count)` rows, including empty bins.
     pub fn rows(&self) -> impl Iterator<Item = (f64, f64, u64)> + '_ {
         (0..self.bins.len()).map(|i| {
@@ -195,9 +233,10 @@ impl Histogram {
         })
     }
 
-    /// Index of the fullest bin (ties break low), or `None` if empty.
+    /// Index of the fullest bin (ties break low), or `None` if no
+    /// observation landed in a bin.
     pub fn mode_bin(&self) -> Option<usize> {
-        if self.total == self.overflow {
+        if self.total == self.overflow + self.underflow {
             return None;
         }
         let mut best = 0usize;
@@ -209,10 +248,44 @@ impl Histogram {
         Some(best)
     }
 
-    /// Render an ASCII bar chart, one row per non-empty bin.
+    /// Merge another histogram with the same shape (origin, bin width,
+    /// bin count) into this one. Panics on shape mismatch — merging
+    /// differently-binned histograms is a logic error.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.origin == other.origin
+                && self.bin_width == other.bin_width
+                && self.bins.len() == other.bins.len(),
+            "histogram merge requires identical binning: \
+             ({}, {}, {}) vs ({}, {}, {})",
+            self.origin,
+            self.bin_width,
+            self.bins.len(),
+            other.origin,
+            other.bin_width,
+            other.bins.len(),
+        );
+        for (mine, theirs) in self.bins.iter_mut().zip(&other.bins) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+    }
+
+    /// Render an ASCII bar chart, one row per non-empty bin. An empty
+    /// histogram renders as an explicit placeholder instead of an
+    /// empty string.
     pub fn ascii(&self, max_width: usize) -> String {
+        if self.total == 0 {
+            return "(no samples)\n".to_string();
+        }
         let peak = self.bins.iter().copied().max().unwrap_or(0).max(1);
         let mut out = String::new();
+        if self.underflow > 0 {
+            out.push_str(&format!("below origin: {}\n", self.underflow));
+        }
         for (lo, hi, count) in self.rows() {
             if count == 0 {
                 continue;
@@ -294,7 +367,10 @@ impl TimeSeries {
     }
 
     /// Sparkline-style rendering with `cols` output columns (buckets are
-    /// grouped if there are more buckets than columns).
+    /// grouped if there are more buckets than columns). A series with
+    /// no recorded events renders as the empty string — callers that
+    /// need fixed-width output should check [`TimeSeries::total`]
+    /// first.
     pub fn sparkline(&self, cols: usize) -> String {
         const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
         if self.counts.is_empty() || cols == 0 {
@@ -414,6 +490,43 @@ mod tests {
     }
 
     #[test]
+    fn online_stats_merge_empty_right_operand_is_identity() {
+        let mut s = OnlineStats::new();
+        s.push(3.0);
+        s.push(7.0);
+        let before = s.clone();
+        s.merge(&OnlineStats::new());
+        assert_eq!(s.count(), before.count());
+        assert_eq!(s.mean(), before.mean());
+        assert_eq!(s.variance(), before.variance());
+        assert_eq!(s.min(), before.min());
+        assert_eq!(s.max(), before.max());
+    }
+
+    #[test]
+    fn online_stats_merge_empty_left_operand_adopts_other() {
+        let mut other = OnlineStats::new();
+        other.push(3.0);
+        other.push(7.0);
+        let mut s = OnlineStats::new();
+        s.merge(&other);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.min(), 3.0);
+        assert_eq!(s.max(), 7.0);
+    }
+
+    #[test]
+    fn online_stats_merge_both_empty_stays_empty() {
+        let mut s = OnlineStats::new();
+        s.merge(&OnlineStats::new());
+        assert_eq!(s.count(), 0);
+        assert!(s.min().is_nan());
+        assert!(s.max().is_nan());
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
     fn histogram_binning() {
         // The Fig. 2 configuration: 0.1 s bins from 0.
         let mut h = Histogram::new(0.0, 0.1, 25);
@@ -426,15 +539,31 @@ mod tests {
         assert_eq!(h.overflow(), 1);
         assert_eq!(h.total(), 4);
         assert_eq!(h.mode_bin(), Some(4));
+        assert!((h.sum() - 123.94).abs() < 1e-9);
         let (lo, hi) = h.bin_range(4);
         assert!((lo - 0.4).abs() < 1e-12 && (hi - 0.5).abs() < 1e-12);
     }
 
     #[test]
-    fn histogram_clamps_below_origin() {
+    fn histogram_underflow_goes_to_underflow_bucket() {
         let mut h = Histogram::new(1.0, 1.0, 3);
         h.record(0.0);
+        h.record(-5.0);
+        h.record(1.5);
+        // Below-origin observations no longer pollute the first bin.
         assert_eq!(h.bin(0), 1);
+        assert_eq!(h.underflow(), 2);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.mode_bin(), Some(0));
+    }
+
+    #[test]
+    fn histogram_all_underflow_has_no_mode() {
+        let mut h = Histogram::new(10.0, 1.0, 4);
+        h.record(1.0);
+        h.record(2.0);
+        assert_eq!(h.underflow(), 2);
+        assert_eq!(h.mode_bin(), None);
     }
 
     #[test]
@@ -446,6 +575,47 @@ mod tests {
         let art = h.ascii(10);
         assert_eq!(art.lines().count(), 2);
         assert!(art.contains('#'));
+    }
+
+    #[test]
+    fn histogram_ascii_empty_is_explicit() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert_eq!(h.ascii(10), "(no samples)\n");
+    }
+
+    #[test]
+    fn histogram_ascii_shows_underflow() {
+        let mut h = Histogram::new(1.0, 1.0, 2);
+        h.record(0.5);
+        h.record(1.5);
+        let art = h.ascii(10);
+        assert!(art.contains("below origin: 1"), "got: {art}");
+    }
+
+    #[test]
+    fn histogram_merge_accumulates() {
+        let mut a = Histogram::new(0.0, 1.0, 4);
+        let mut b = Histogram::new(0.0, 1.0, 4);
+        a.record(0.5);
+        a.record(9.0);
+        b.record(0.7);
+        b.record(-1.0);
+        b.record(3.2);
+        a.merge(&b);
+        assert_eq!(a.total(), 5);
+        assert_eq!(a.bin(0), 2);
+        assert_eq!(a.bin(3), 1);
+        assert_eq!(a.underflow(), 1);
+        assert_eq!(a.overflow(), 1);
+        assert!((a.sum() - 12.4).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical binning")]
+    fn histogram_merge_rejects_mismatched_shapes() {
+        let mut a = Histogram::new(0.0, 1.0, 4);
+        let b = Histogram::new(0.0, 0.5, 4);
+        a.merge(&b);
     }
 
     #[test]
@@ -478,6 +648,13 @@ mod tests {
         }
         let line = ts.sparkline(20);
         assert_eq!(line.chars().count(), 20);
+    }
+
+    #[test]
+    fn sparkline_empty_series_is_empty_string() {
+        let ts = TimeSeries::new(SimTime::ZERO, SimDuration::SECOND);
+        assert_eq!(ts.sparkline(20), "");
+        assert_eq!(ts.peak(), None);
     }
 
     #[test]

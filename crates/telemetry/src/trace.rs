@@ -1,0 +1,224 @@
+//! Per-job lifecycle traces.
+//!
+//! Every submission that enters the system gets a [`JobTrace`]: an
+//! append-only list of named stage events stamped with sim-time. The
+//! canonical stage sequence mirrors the RAI pipeline (submit → enqueue
+//! → dequeue → fetch → build → run → upload → grade), but traces accept
+//! any stage name so ablation experiments can add their own.
+
+use parking_lot::Mutex;
+use rai_sim::{SimDuration, SimTime};
+use std::collections::{HashMap, VecDeque};
+
+/// Canonical stage names, in pipeline order.
+pub mod stage {
+    /// Client submitted the job (rate-limit passed, archive packed).
+    pub const SUBMITTED: &str = "submitted";
+    /// Broker accepted and queued the job.
+    pub const ENQUEUED: &str = "enqueued";
+    /// A worker dequeued the job.
+    pub const DEQUEUED: &str = "dequeued";
+    /// Worker fetched the submission archive from the object store.
+    pub const FETCHED: &str = "fetched";
+    /// Sandbox image resolved/pulled and container built.
+    pub const BUILT: &str = "built";
+    /// Build commands ran to completion (or were killed).
+    pub const RAN: &str = "ran";
+    /// Build outputs uploaded back to the object store.
+    pub const UPLOADED: &str = "uploaded";
+    /// Submission recorded / ranking updated.
+    pub const GRADED: &str = "graded";
+
+    /// The canonical order, for reports.
+    pub const ORDER: [&str; 8] = [
+        SUBMITTED, ENQUEUED, DEQUEUED, FETCHED, BUILT, RAN, UPLOADED, GRADED,
+    ];
+}
+
+/// One lifecycle event: the job reached `stage` at `at`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StageEvent {
+    pub stage: &'static str,
+    pub at: SimTime,
+}
+
+/// Full lifecycle of one job.
+#[derive(Clone, Debug, Default)]
+pub struct JobTrace {
+    pub job_id: u64,
+    pub events: Vec<StageEvent>,
+}
+
+impl JobTrace {
+    /// Time the job reached `stage`, if it did.
+    pub fn stage_time(&self, stage: &str) -> Option<SimTime> {
+        self.events.iter().find(|e| e.stage == stage).map(|e| e.at)
+    }
+
+    /// Duration between two recorded stages (saturating at zero).
+    pub fn stage_duration(&self, from: &str, to: &str) -> Option<SimDuration> {
+        Some(self.stage_time(to)?.duration_since(self.stage_time(from)?))
+    }
+
+    /// Durations of each consecutive recorded stage pair.
+    pub fn stage_durations(&self) -> Vec<(&'static str, SimDuration)> {
+        self.events
+            .windows(2)
+            .map(|w| (w[1].stage, w[1].at.duration_since(w[0].at)))
+            .collect()
+    }
+
+    /// End-to-end latency from the first to the last recorded event.
+    pub fn total_duration(&self) -> SimDuration {
+        match (self.events.first(), self.events.last()) {
+            (Some(first), Some(last)) => last.at.duration_since(first.at),
+            _ => SimDuration::ZERO,
+        }
+    }
+
+    /// True when event timestamps never decrease.
+    pub fn is_monotone(&self) -> bool {
+        self.events.windows(2).all(|w| w[0].at <= w[1].at)
+    }
+}
+
+/// Bounded store of job traces, evicting the oldest job once full.
+#[derive(Debug)]
+pub struct TraceStore {
+    inner: Mutex<TraceStoreInner>,
+}
+
+#[derive(Debug)]
+struct TraceStoreInner {
+    traces: HashMap<u64, JobTrace>,
+    order: VecDeque<u64>,
+    capacity: usize,
+}
+
+/// Default trace retention. A full semester replay submits ~40k jobs;
+/// the store keeps the most recent window rather than all of them.
+pub const DEFAULT_TRACE_CAPACITY: usize = 16_384;
+
+impl Default for TraceStore {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+}
+
+impl TraceStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceStore {
+            inner: Mutex::new(TraceStoreInner {
+                traces: HashMap::new(),
+                order: VecDeque::new(),
+                capacity: capacity.max(1),
+            }),
+        }
+    }
+
+    /// Record that `job_id` reached `stage` at `at`. Creates the trace
+    /// on first sight of the job.
+    pub fn record(&self, job_id: u64, stage: &'static str, at: SimTime) {
+        let mut inner = self.inner.lock();
+        if !inner.traces.contains_key(&job_id) {
+            if inner.order.len() == inner.capacity {
+                if let Some(evicted) = inner.order.pop_front() {
+                    inner.traces.remove(&evicted);
+                }
+            }
+            inner.order.push_back(job_id);
+            inner
+                .traces
+                .insert(job_id, JobTrace { job_id, events: Vec::new() });
+        }
+        let trace = inner.traces.get_mut(&job_id).expect("just inserted");
+        trace.events.push(StageEvent { stage, at });
+    }
+
+    /// Copy of one job's trace.
+    pub fn get(&self, job_id: u64) -> Option<JobTrace> {
+        self.inner.lock().traces.get(&job_id).cloned()
+    }
+
+    /// All retained traces, oldest job first.
+    pub fn all(&self) -> Vec<JobTrace> {
+        let inner = self.inner.lock();
+        inner
+            .order
+            .iter()
+            .filter_map(|id| inner.traces.get(id).cloned())
+            .collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().order.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().order.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_records_lifecycle_in_order() {
+        let store = TraceStore::new();
+        store.record(7, stage::SUBMITTED, SimTime::from_secs(1));
+        store.record(7, stage::ENQUEUED, SimTime::from_secs(1));
+        store.record(7, stage::DEQUEUED, SimTime::from_secs(4));
+        store.record(7, stage::RAN, SimTime::from_secs(9));
+        let trace = store.get(7).expect("trace exists");
+        assert!(trace.is_monotone());
+        assert_eq!(trace.stage_time(stage::DEQUEUED), Some(SimTime::from_secs(4)));
+        assert_eq!(
+            trace.stage_duration(stage::ENQUEUED, stage::DEQUEUED),
+            Some(SimDuration::from_secs(3))
+        );
+        assert_eq!(trace.total_duration(), SimDuration::from_secs(8));
+    }
+
+    #[test]
+    fn stage_durations_are_consecutive_deltas() {
+        let store = TraceStore::new();
+        store.record(1, stage::SUBMITTED, SimTime::from_secs(0));
+        store.record(1, stage::ENQUEUED, SimTime::from_secs(2));
+        store.record(1, stage::DEQUEUED, SimTime::from_secs(5));
+        let trace = store.get(1).expect("trace exists");
+        assert_eq!(
+            trace.stage_durations(),
+            vec![
+                (stage::ENQUEUED, SimDuration::from_secs(2)),
+                (stage::DEQUEUED, SimDuration::from_secs(3)),
+            ]
+        );
+    }
+
+    #[test]
+    fn store_evicts_oldest_job() {
+        let store = TraceStore::with_capacity(2);
+        store.record(1, stage::SUBMITTED, SimTime::from_secs(1));
+        store.record(2, stage::SUBMITTED, SimTime::from_secs(2));
+        store.record(3, stage::SUBMITTED, SimTime::from_secs(3));
+        assert_eq!(store.len(), 2);
+        assert!(store.get(1).is_none());
+        assert!(store.get(2).is_some());
+        assert!(store.get(3).is_some());
+        // Appending to a surviving trace must not re-insert it.
+        store.record(2, stage::ENQUEUED, SimTime::from_secs(4));
+        assert_eq!(store.get(2).expect("trace").events.len(), 2);
+    }
+
+    #[test]
+    fn empty_trace_total_duration_is_zero() {
+        let trace = JobTrace::default();
+        assert_eq!(trace.total_duration(), SimDuration::ZERO);
+        assert!(trace.is_monotone());
+    }
+}

@@ -1,0 +1,158 @@
+//! Property tests for the metrics registry and the statistics toolkit.
+
+use proptest::prelude::*;
+use rai_sim::{SimDuration, SimTime};
+use rai_telemetry::{Histogram, MetricsRegistry, OnlineStats, TimeSeries};
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// TimeSeries conserves events: total == number of in-range records.
+    #[test]
+    fn time_series_conserves(
+        events in prop::collection::vec(0u64..1_000_000, 0..100),
+        bucket_ms in 1u64..10_000,
+        start in 0u64..500_000,
+    ) {
+        let mut ts = TimeSeries::new(SimTime::from_millis(start), SimDuration::from_millis(bucket_ms));
+        let mut expected = 0u64;
+        for &e in &events {
+            ts.record(SimTime::from_millis(e));
+            if e >= start {
+                expected += 1;
+            }
+        }
+        prop_assert_eq!(ts.total(), expected);
+        prop_assert_eq!(ts.counts().iter().sum::<u64>(), expected);
+    }
+
+    /// Histogram conserves observations across bins + underflow + overflow.
+    #[test]
+    fn histogram_conserves(xs in prop::collection::vec(-50.0f64..500.0, 0..100)) {
+        let mut h = Histogram::new(0.0, 0.1, 25);
+        for &x in &xs {
+            h.record(x);
+        }
+        let binned: u64 = (0..h.num_bins()).map(|i| h.bin(i)).sum();
+        prop_assert_eq!(binned + h.underflow() + h.overflow(), xs.len() as u64);
+        prop_assert_eq!(h.total(), xs.len() as u64);
+        let expected_sum: f64 = xs.iter().sum();
+        prop_assert!((h.sum() - expected_sum).abs() < 1e-6 * (1.0 + expected_sum.abs()));
+    }
+
+    /// Merging two histograms conserves every bucket and the sum.
+    #[test]
+    fn histogram_merge_conserves(
+        xs in prop::collection::vec(-20.0f64..120.0, 0..60),
+        ys in prop::collection::vec(-20.0f64..120.0, 0..60),
+    ) {
+        let mut a = Histogram::new(0.0, 5.0, 20);
+        let mut b = Histogram::new(0.0, 5.0, 20);
+        let mut whole = Histogram::new(0.0, 5.0, 20);
+        for &x in &xs { a.record(x); whole.record(x); }
+        for &y in &ys { b.record(y); whole.record(y); }
+        a.merge(&b);
+        prop_assert_eq!(a.total(), whole.total());
+        prop_assert_eq!(a.underflow(), whole.underflow());
+        prop_assert_eq!(a.overflow(), whole.overflow());
+        for i in 0..whole.num_bins() {
+            prop_assert_eq!(a.bin(i), whole.bin(i));
+        }
+        prop_assert!((a.sum() - whole.sum()).abs() < 1e-9 * (1.0 + whole.sum().abs()));
+    }
+
+    /// OnlineStats matches a naive two-pass computation.
+    #[test]
+    fn online_stats_matches_naive(xs in prop::collection::vec(-1e3f64..1e3, 1..100)) {
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((s.variance() - var).abs() < 1e-5 * (1.0 + var.abs()));
+    }
+
+    /// Merging stats in any split equals the sequential result.
+    #[test]
+    fn stats_merge_associative(xs in prop::collection::vec(-1e3f64..1e3, 2..60), split in 1usize..59) {
+        let split = split.min(xs.len() - 1);
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let (left, right) = xs.split_at(split);
+        let mut a = OnlineStats::new();
+        for &x in left { a.push(x); }
+        let mut b = OnlineStats::new();
+        for &x in right { b.push(x); }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-7 * (1.0 + whole.mean().abs()));
+        prop_assert!((a.variance() - whole.variance()).abs() < 1e-5 * (1.0 + whole.variance()));
+    }
+
+    /// Concurrent counter increments from several threads sum exactly.
+    #[test]
+    fn registry_concurrent_increments_sum(
+        per_thread in prop::collection::vec(1u64..500, 1..8),
+    ) {
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut handles = Vec::new();
+        for &n in &per_thread {
+            let registry = Arc::clone(&registry);
+            handles.push(std::thread::spawn(move || {
+                let counter = registry.counter("rai_test_total", &[("case", "prop")]);
+                for _ in 0..n {
+                    counter.inc();
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().expect("thread finished");
+        }
+        let expected: u64 = per_thread.iter().sum();
+        prop_assert_eq!(
+            registry.snapshot().counter("rai_test_total", &[("case", "prop")]),
+            Some(expected)
+        );
+    }
+
+    /// Histogram totals are conserved when shards recorded on separate
+    /// threads are merged, matching a single sequential histogram.
+    #[test]
+    fn registry_histogram_totals_conserved_under_merge(
+        shards in prop::collection::vec(prop::collection::vec(0.0f64..100.0, 0..40), 1..6),
+    ) {
+        let shard_hists: Vec<Histogram> = {
+            let mut handles = Vec::new();
+            for shard in shards.clone() {
+                handles.push(std::thread::spawn(move || {
+                    let mut h = Histogram::new(0.0, 10.0, 10);
+                    for x in shard {
+                        h.record(x);
+                    }
+                    h
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("thread finished")).collect()
+        };
+        let mut merged = Histogram::new(0.0, 10.0, 10);
+        for shard in &shard_hists {
+            merged.merge(shard);
+        }
+        let mut sequential = Histogram::new(0.0, 10.0, 10);
+        for shard in &shards {
+            for &x in shard {
+                sequential.record(x);
+            }
+        }
+        prop_assert_eq!(merged.total(), sequential.total());
+        for i in 0..sequential.num_bins() {
+            prop_assert_eq!(merged.bin(i), sequential.bin(i));
+        }
+    }
+}

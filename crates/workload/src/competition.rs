@@ -7,7 +7,7 @@
 
 use crate::teams::TeamRoster;
 use rai_core::{RaiSystem, SystemConfig};
-use rai_sim::Histogram;
+use rai_telemetry::Histogram;
 
 /// Competition parameters.
 #[derive(Clone, Debug)]

@@ -10,7 +10,8 @@ use crate::teams::TeamRoster;
 use rai_cluster::{InstanceType, PhaseSchedule, ReactiveAutoscaler, ScaleAction, WorkerPool};
 use rai_core::client::PendingJob;
 use rai_core::{RaiSystem, SubmitMode, SystemConfig};
-use rai_sim::{Percentiles, SimDuration, SimTime, Simulation, TimeSeries, VirtualClock};
+use rai_sim::{SimDuration, SimTime, Simulation, VirtualClock};
+use rai_telemetry::{names, stage, MetricsSnapshot, Percentiles, TimeSeries};
 use rai_store::StoreUsage;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -109,6 +110,9 @@ pub struct SemesterResult {
     /// Total bytes of log traffic published by workers (paper §VIII:
     /// "25GB of logs and meta-data").
     pub log_bytes: u64,
+    /// Telemetry snapshot at semester end (job counters, stage
+    /// histograms, broker / store / db mirrors, pool-size gauge).
+    pub metrics: MetricsSnapshot,
 }
 
 struct SemState {
@@ -203,6 +207,9 @@ fn submit_event(state: &mut SemState, sched: &mut Sched<'_>, team_idx: usize, mo
         return;
     };
     state.total += 1;
+    let telemetry = state.system.telemetry();
+    telemetry.trace_stage(pending.job_id, stage::SUBMITTED);
+    telemetry.trace_stage(pending.job_id, stage::ENQUEUED);
     state.full_timeline.record(now);
     if now >= state.window_start {
         state.window_timeline.record(now);
@@ -235,6 +242,13 @@ pub fn run_semester(config: &SemesterConfig) -> SemesterResult {
     let deadline = SimTime::ZERO + SimDuration::from_days(config.duration_days);
     let window_start = deadline - SimDuration::from_days(config.window_days);
     let pool = WorkerPool::new(clock.clone());
+    {
+        let pool = pool.clone();
+        system.telemetry().register_collector(move |reg| {
+            reg.gauge(names::AUTOSCALER_POOL_SIZE, &[])
+                .set(pool.live_count() as f64);
+        });
+    }
     let schedule = PhaseSchedule::paper_semester();
 
     // Pre-sample every team's submission instants.
@@ -319,12 +333,23 @@ pub fn run_semester(config: &SemesterConfig) -> SemesterResult {
                 match action {
                     ScaleAction::Out(n) => {
                         state.pool.launch(InstanceType::p2(), n);
+                        state
+                            .system
+                            .telemetry()
+                            .counter(names::AUTOSCALER_SCALE_EVENTS_TOTAL, &[("direction", "out")])
+                            .inc();
                     }
                     ScaleAction::In(n) => {
                         // Never terminate busier than idle capacity.
                         let ready = state.pool.ready_instances().len();
                         let idle = ready.saturating_sub(state.in_flight);
-                        state.pool.terminate_n(n.min(idle));
+                        if state.pool.terminate_n(n.min(idle)) > 0 {
+                            state
+                                .system
+                                .telemetry()
+                                .counter(names::AUTOSCALER_SCALE_EVENTS_TOTAL, &[("direction", "in")])
+                                .inc();
+                        }
                     }
                     ScaleAction::Hold => {}
                 }
@@ -376,6 +401,7 @@ pub fn run_semester(config: &SemesterConfig) -> SemesterResult {
         cost_cents: state.pool.stats().cost_cents,
         final_standings: standings,
         log_bytes,
+        metrics: state.system.telemetry().snapshot(),
     }
 }
 
@@ -399,6 +425,14 @@ mod tests {
         // Store accounted for uploads and build outputs.
         assert!(result.store.puts >= 2 * result.total_submissions);
         assert!(result.cost_cents > 0);
+        // Telemetry mirrors the pipeline: one JOBS_TOTAL count per
+        // submission and non-empty stage histograms.
+        assert_eq!(
+            result.metrics.counter_total(names::JOBS_TOTAL),
+            result.total_submissions
+        );
+        assert!(!result.metrics.histograms_named(names::JOB_STAGE_SECONDS).is_empty());
+        assert!(result.metrics.gauge(names::AUTOSCALER_POOL_SIZE, &[]).is_some());
     }
 
     #[test]

@@ -50,5 +50,6 @@ pub use rai_db as db;
 pub use rai_sandbox as sandbox;
 pub use rai_sim as sim;
 pub use rai_store as store;
+pub use rai_telemetry as telemetry;
 pub use rai_workload as workload;
 pub use rai_yaml as yaml;
