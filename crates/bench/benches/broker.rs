@@ -78,7 +78,7 @@ fn bench_reclaim(c: &mut Criterion) {
         while sub.try_recv().is_some() {}
         b.iter(|| {
             // Nothing is old enough: pure scan cost over 1k in-flight.
-            assert_eq!(broker.reclaim_expired(std::time::Duration::from_secs(3600)), 0);
+            assert_eq!(broker.reclaim_expired(rai_sim::SimDuration::from_hours(1)), 0);
         });
     });
 }

@@ -100,6 +100,18 @@ fn main() {
     }) {
         println!("  {line}");
     }
+
+    rai_bench::header("failure & recovery counters");
+    for name in [
+        rai_telemetry::names::RETRIES_TOTAL,
+        rai_telemetry::names::REDELIVERIES_TOTAL,
+        rai_telemetry::names::DEAD_LETTERED_TOTAL,
+        rai_telemetry::names::FAULTS_INJECTED_TOTAL,
+        rai_telemetry::names::WORKER_CRASHES_TOTAL,
+        rai_telemetry::names::JOBS_MALFORMED_TOTAL,
+    ] {
+        println!("  {name:<28} {}", result.metrics.counter_total(name));
+    }
     let jobs_counted = result.metrics.counter_total(rai_telemetry::names::JOBS_TOTAL);
     println!(
         "

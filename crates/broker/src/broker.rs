@@ -1,10 +1,13 @@
 //! The broker proper: topic table, publish fan-out, subscriptions,
-//! ephemeral-topic garbage collection, and statistics.
+//! ephemeral-topic garbage collection, dead-letter routing, and
+//! statistics.
 
 use crate::message::{Message, MessageId};
-use crate::queue::{ChannelState, RecvError};
+use crate::queue::{ChannelState, RecvError, Requeued};
 use bytes::Bytes;
 use parking_lot::Mutex;
+use rai_faults::{FaultInjector, FaultKind};
+use rai_sim::{SimDuration, VirtualClock};
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -22,6 +25,11 @@ pub struct BrokerConfig {
     /// Maximum number of messages retained in a topic backlog while the
     /// topic has no channels yet.
     pub max_backlog: usize,
+    /// Per-message delivery-attempt cap. A message requeued after its
+    /// `max_attempts`-th delivery is routed to the channel's dead-letter
+    /// topic ([`dead_letter_topic`]) instead of redelivered forever.
+    /// 0 (the default) disables the cap.
+    pub max_attempts: u32,
 }
 
 impl Default for BrokerConfig {
@@ -29,8 +37,17 @@ impl Default for BrokerConfig {
         BrokerConfig {
             max_channel_depth: 100_000,
             max_backlog: 10_000,
+            max_attempts: 0,
         }
     }
+}
+
+/// The dead-letter topic for `topic/channel`: the route reads
+/// `topic/channel#dead` (so `rai/tasks` dead-letters to the topic named
+/// `rai/tasks#dead`). It is an ordinary durable topic; subscribe to it
+/// to audit poison messages.
+pub fn dead_letter_topic(topic: &str, channel: &str) -> String {
+    format!("{topic}/{channel}#dead")
 }
 
 /// Publish failure.
@@ -40,6 +57,9 @@ pub enum PublishError {
     ChannelFull { topic: String, channel: String },
     /// The topic's no-channel backlog is full.
     BacklogFull { topic: String },
+    /// The broker refused the publish (injected fault: connection
+    /// dropped, node flapping). Retryable.
+    Unavailable { topic: String },
 }
 
 impl std::fmt::Display for PublishError {
@@ -49,6 +69,9 @@ impl std::fmt::Display for PublishError {
                 write!(f, "channel {topic}/{channel} is full")
             }
             PublishError::BacklogFull { topic } => write!(f, "topic {topic} backlog is full"),
+            PublishError::Unavailable { topic } => {
+                write!(f, "broker unavailable publishing to {topic}")
+            }
         }
     }
 }
@@ -66,9 +89,98 @@ struct TopicState {
 
 struct BrokerInner {
     config: BrokerConfig,
+    clock: VirtualClock,
     topics: Mutex<HashMap<String, Arc<TopicState>>>,
     next_message_id: AtomicU64,
     next_subscriber_id: AtomicU64,
+    injector: Mutex<Option<FaultInjector>>,
+    dead_lettered: AtomicU64,
+}
+
+impl BrokerInner {
+    fn topic(&self, name: &str, ephemeral: bool) -> Arc<TopicState> {
+        let mut topics = self.topics.lock();
+        topics
+            .entry(name.to_string())
+            .or_insert_with(|| {
+                Arc::new(TopicState {
+                    name: name.to_string(),
+                    ephemeral,
+                    channels: Mutex::new(HashMap::new()),
+                    backlog: Mutex::new(VecDeque::new()),
+                    published: AtomicU64::new(0),
+                })
+            })
+            .clone()
+    }
+
+    fn publish_raw(
+        &self,
+        topic: &str,
+        body: Bytes,
+        ephemeral: bool,
+        faultable: bool,
+    ) -> Result<MessageId, PublishError> {
+        if faultable {
+            let injector = self.injector.lock().clone();
+            if let Some(inj) = injector {
+                if inj.should_fail(FaultKind::BrokerPublish) {
+                    return Err(PublishError::Unavailable { topic: topic.to_string() });
+                }
+            }
+        }
+        let t = self.topic(topic, ephemeral);
+        let id = MessageId(self.next_message_id.fetch_add(1, Ordering::Relaxed));
+        let msg = Message {
+            id,
+            body,
+            attempts: 0,
+        };
+        let channels = t.channels.lock();
+        if channels.is_empty() {
+            // Hold in the backlog until the first channel appears.
+            let mut backlog = t.backlog.lock();
+            if backlog.len() >= self.config.max_backlog {
+                return Err(PublishError::BacklogFull {
+                    topic: topic.to_string(),
+                });
+            }
+            backlog.push_back(msg);
+        } else {
+            // NSQ semantics: every channel receives a copy.
+            for ch in channels.values() {
+                if ch.depth() >= self.config.max_channel_depth {
+                    return Err(PublishError::ChannelFull {
+                        topic: topic.to_string(),
+                        channel: ch.name.clone(),
+                    });
+                }
+            }
+            for ch in channels.values() {
+                ch.enqueue(msg.clone());
+            }
+        }
+        t.published.fetch_add(1, Ordering::Relaxed);
+        Ok(id)
+    }
+
+    /// Route messages that exhausted their attempt cap on
+    /// `topic/channel` to the dead-letter topic. Internal publishes are
+    /// never fault-injected and ignore back-pressure errors: losing a
+    /// dead letter to a full queue is strictly worse than exceeding a
+    /// depth limit.
+    fn route_dead(&self, topic: &str, channel: &Arc<ChannelState>, requeued: &Requeued) {
+        if requeued.dead.is_empty() {
+            return;
+        }
+        let dead_topic = dead_letter_topic(topic, &channel.name);
+        for msg in &requeued.dead {
+            let _ = self.publish_raw(&dead_topic, msg.body.clone(), false, false);
+        }
+        let n = requeued.dead.len() as u64;
+        channel.dead_lettered.fetch_add(n, Ordering::Relaxed);
+        self.dead_lettered.fetch_add(n, Ordering::Relaxed);
+    }
 }
 
 /// The message broker. Cheap to clone; clones share state.
@@ -84,37 +196,43 @@ impl Default for Broker {
 }
 
 impl Broker {
-    /// Create a broker.
+    /// Create a broker with a private clock (sim drivers should prefer
+    /// [`Broker::with_clock`] so message timeouts advance with the
+    /// simulation).
     pub fn new(config: BrokerConfig) -> Self {
+        Self::with_clock(config, VirtualClock::new())
+    }
+
+    /// Create a broker whose delivery claims are stamped by `clock`.
+    pub fn with_clock(config: BrokerConfig, clock: VirtualClock) -> Self {
         Broker {
             inner: Arc::new(BrokerInner {
                 config,
+                clock,
                 topics: Mutex::new(HashMap::new()),
                 next_message_id: AtomicU64::new(1),
                 next_subscriber_id: AtomicU64::new(1),
+                injector: Mutex::new(None),
+                dead_lettered: AtomicU64::new(0),
             }),
         }
     }
 
-    fn topic(&self, name: &str, ephemeral: bool) -> Arc<TopicState> {
-        let mut topics = self.inner.topics.lock();
-        topics
-            .entry(name.to_string())
-            .or_insert_with(|| {
-                Arc::new(TopicState {
-                    name: name.to_string(),
-                    ephemeral,
-                    channels: Mutex::new(HashMap::new()),
-                    backlog: Mutex::new(VecDeque::new()),
-                    published: AtomicU64::new(0),
-                })
-            })
-            .clone()
+    /// The clock stamping delivery claims.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.inner.clock
+    }
+
+    /// Attach a fault injector: subsequent external publishes may be
+    /// rejected with [`PublishError::Unavailable`] per the injector's
+    /// plan. Internal dead-letter routing is exempt.
+    pub fn set_fault_injector(&self, injector: FaultInjector) {
+        *self.inner.injector.lock() = Some(injector);
     }
 
     /// Publish to a durable topic (created on first use).
     pub fn publish(&self, topic: &str, body: impl Into<Bytes>) -> Result<MessageId, PublishError> {
-        self.publish_inner(topic, body.into(), false)
+        self.inner.publish_raw(topic, body.into(), false, true)
     }
 
     /// Publish to an ephemeral topic (created on first use; garbage
@@ -125,48 +243,7 @@ impl Broker {
         topic: &str,
         body: impl Into<Bytes>,
     ) -> Result<MessageId, PublishError> {
-        self.publish_inner(topic, body.into(), true)
-    }
-
-    fn publish_inner(
-        &self,
-        topic: &str,
-        body: Bytes,
-        ephemeral: bool,
-    ) -> Result<MessageId, PublishError> {
-        let t = self.topic(topic, ephemeral);
-        let id = MessageId(self.inner.next_message_id.fetch_add(1, Ordering::Relaxed));
-        let msg = Message {
-            id,
-            body,
-            attempts: 0,
-        };
-        let channels = t.channels.lock();
-        if channels.is_empty() {
-            // Hold in the backlog until the first channel appears.
-            let mut backlog = t.backlog.lock();
-            if backlog.len() >= self.inner.config.max_backlog {
-                return Err(PublishError::BacklogFull {
-                    topic: topic.to_string(),
-                });
-            }
-            backlog.push_back(msg);
-        } else {
-            // NSQ semantics: every channel receives a copy.
-            for ch in channels.values() {
-                if ch.depth() >= self.inner.config.max_channel_depth {
-                    return Err(PublishError::ChannelFull {
-                        topic: topic.to_string(),
-                        channel: ch.name.clone(),
-                    });
-                }
-            }
-            for ch in channels.values() {
-                ch.enqueue(msg.clone());
-            }
-        }
-        t.published.fetch_add(1, Ordering::Relaxed);
-        Ok(id)
+        self.inner.publish_raw(topic, body.into(), true, true)
     }
 
     /// Subscribe to `topic/channel`, creating both as needed. Multiple
@@ -182,13 +259,19 @@ impl Broker {
     }
 
     fn subscribe_inner(&self, topic: &str, channel: &str, ephemeral: bool) -> Subscription {
-        let t = self.topic(topic, ephemeral);
+        let t = self.inner.topic(topic, ephemeral);
         let ch = {
             let mut channels = t.channels.lock();
             let is_new_first_channel = channels.is_empty();
             let ch = channels
                 .entry(channel.to_string())
-                .or_insert_with(|| Arc::new(ChannelState::new(channel)))
+                .or_insert_with(|| {
+                    Arc::new(ChannelState::new(
+                        channel,
+                        self.inner.clock.clone(),
+                        self.inner.config.max_attempts,
+                    ))
+                })
                 .clone();
             if is_new_first_channel {
                 // Drain the topic backlog into the first channel.
@@ -239,6 +322,7 @@ impl Broker {
         let mut in_flight = 0;
         let mut acked = 0;
         let mut requeued = 0;
+        let mut dead_lettered = 0;
         let channel_count;
         {
             let channels = t.channels.lock();
@@ -248,6 +332,7 @@ impl Broker {
                 in_flight += ch.in_flight_count();
                 acked += ch.acked.load(Ordering::Relaxed);
                 requeued += ch.requeued.load(Ordering::Relaxed);
+                dead_lettered += ch.dead_lettered.load(Ordering::Relaxed);
             }
         }
         let backlog_len = t.backlog.lock().len();
@@ -259,19 +344,32 @@ impl Broker {
             in_flight,
             acked,
             requeued,
+            dead_lettered,
         })
     }
 
-    /// Requeue every in-flight message older than `timeout` across all
-    /// topics and channels (run periodically, like nsqd's message
-    /// timeout). Returns how many messages were reclaimed.
-    pub fn reclaim_expired(&self, timeout: Duration) -> usize {
-        let topics: Vec<Arc<TopicState>> = self.inner.topics.lock().values().cloned().collect();
+    /// Requeue every in-flight message claimed more than `timeout` of
+    /// sim time ago, across all topics and channels (run periodically,
+    /// like nsqd's message timeout). Messages over the attempt cap are
+    /// routed to their dead-letter topic instead. Topics are processed
+    /// in name order and messages in id order, so redelivery is
+    /// deterministic. Returns how many messages went back to ready
+    /// queues.
+    pub fn reclaim_expired(&self, timeout: SimDuration) -> usize {
+        let mut names = self.topic_names();
+        names.sort();
         let mut n = 0;
-        for t in topics {
-            let channels: Vec<Arc<ChannelState>> = t.channels.lock().values().cloned().collect();
+        for name in names {
+            let Some(t) = self.inner.topics.lock().get(&name).cloned() else {
+                continue;
+            };
+            let mut channels: Vec<Arc<ChannelState>> =
+                t.channels.lock().values().cloned().collect();
+            channels.sort_by(|a, b| a.name.cmp(&b.name));
             for ch in channels {
-                n += ch.reclaim_expired(timeout);
+                let r = ch.reclaim_expired(timeout);
+                self.inner.route_dead(&t.name, &ch, &r);
+                n += r.requeued;
             }
         }
         n
@@ -294,6 +392,10 @@ impl Broker {
                 s.requeued += t.requeued;
             }
         }
+        // Count from the broker-wide counter, not the per-channel sums:
+        // dead letters outlive their source channel (e.g. a dropped
+        // ephemeral topic).
+        s.dead_lettered = self.inner.dead_lettered.load(Ordering::Relaxed);
         s
     }
 }
@@ -315,6 +417,8 @@ pub struct TopicStats {
     pub acked: u64,
     /// Requeue events.
     pub requeued: u64,
+    /// Messages routed to this topic's dead-letter topics.
+    pub dead_lettered: u64,
 }
 
 /// Whole-broker statistics.
@@ -334,6 +438,8 @@ pub struct BrokerStats {
     pub acked: u64,
     /// Total requeue events.
     pub requeued: u64,
+    /// Total messages routed to dead-letter topics.
+    pub dead_lettered: u64,
 }
 
 /// A consumer's handle on `topic/channel`.
@@ -367,9 +473,18 @@ impl Subscription {
     }
 
     /// Decline an in-flight message, returning it to the queue for
-    /// another consumer (attempt counter increments on redelivery).
+    /// another consumer (attempt counter increments on redelivery). A
+    /// message that has hit the broker's attempt cap is routed to the
+    /// dead-letter topic instead. Returns `false` if the message was
+    /// not in flight for this subscription.
     pub fn requeue(&self, id: MessageId) -> bool {
-        self.channel.requeue(self.subscriber_id, id)
+        match self.channel.requeue(self.subscriber_id, id) {
+            Some(r) => {
+                self.broker.route_dead(&self.topic.name, &self.channel, &r);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Ready depth of this subscription's channel.
@@ -385,7 +500,8 @@ impl Subscription {
 
 impl Drop for Subscription {
     fn drop(&mut self) {
-        self.channel.requeue_all_for(self.subscriber_id);
+        let r = self.channel.requeue_all_for(self.subscriber_id);
+        self.broker.route_dead(&self.topic.name, &self.channel, &r);
         let remaining = self.channel.subscribers.fetch_sub(1, Ordering::SeqCst) - 1;
         if remaining == 0 && self.topic.ephemeral {
             // GC the ephemeral topic if *no channel* has subscribers.
@@ -423,6 +539,7 @@ impl Drop for Subscription {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rai_faults::FaultPlan;
 
     #[test]
     fn single_publisher_single_consumer() {
@@ -533,6 +650,7 @@ mod tests {
         let b = Broker::new(BrokerConfig {
             max_channel_depth: 2,
             max_backlog: 2,
+            ..Default::default()
         });
         let _sub = b.subscribe("t", "ch");
         b.publish("t", &b"1"[..]).unwrap();
@@ -548,6 +666,7 @@ mod tests {
         let b = Broker::new(BrokerConfig {
             max_channel_depth: 10,
             max_backlog: 1,
+            ..Default::default()
         });
         b.publish("t", &b"1"[..]).unwrap();
         assert!(matches!(
@@ -590,19 +709,88 @@ mod tests {
         let b = Broker::default();
         let sub = b.subscribe("rai", "tasks");
         assert_eq!(sub.route(), "rai/tasks");
+        assert_eq!(dead_letter_topic("rai", "tasks"), "rai/tasks#dead");
     }
 
     #[test]
-    fn broker_wide_reclaim() {
-        let b = Broker::default();
+    fn broker_wide_reclaim_is_sim_time_driven() {
+        let clock = VirtualClock::new();
+        let b = Broker::with_clock(BrokerConfig::default(), clock.clone());
         let sub = b.subscribe("t", "ch");
         b.publish("t", &b"stalls"[..]).unwrap();
         let _taken = sub.try_recv().unwrap();
-        std::thread::sleep(Duration::from_millis(15));
-        assert_eq!(b.reclaim_expired(Duration::from_millis(5)), 1);
+        assert_eq!(b.reclaim_expired(SimDuration::from_secs(5)), 0, "no sim time elapsed");
+        clock.advance(SimDuration::from_secs(6));
+        assert_eq!(b.reclaim_expired(SimDuration::from_secs(5)), 1);
         let again = sub.recv_timeout(Duration::from_millis(100)).unwrap();
         assert_eq!(again.attempts, 2);
         sub.ack(again.id);
+    }
+
+    #[test]
+    fn attempt_cap_routes_to_dead_letter_topic() {
+        let b = Broker::new(BrokerConfig {
+            max_attempts: 3,
+            ..Default::default()
+        });
+        let dead = b.subscribe(&dead_letter_topic("rai", "tasks"), "audit");
+        let sub = b.subscribe("rai", "tasks");
+        b.publish("rai", &b"poison"[..]).unwrap();
+        for _ in 0..2 {
+            let m = sub.try_recv().unwrap();
+            assert!(sub.requeue(m.id));
+            assert!(dead.try_recv().is_none(), "under cap: stays in the queue");
+        }
+        let m = sub.try_recv().unwrap();
+        assert_eq!(m.attempts, 3);
+        assert!(sub.requeue(m.id));
+        assert!(sub.try_recv().is_none(), "message left the work queue");
+        let d = dead.try_recv().expect("dead letter delivered");
+        assert_eq!(d.body_str(), "poison");
+        assert!(dead.ack(d.id));
+        let s = b.topic_stats("rai").unwrap();
+        assert_eq!(s.dead_lettered, 1);
+        assert_eq!(b.stats().dead_lettered, 1);
+    }
+
+    #[test]
+    fn attempt_cap_applies_on_subscriber_crash() {
+        let clock = VirtualClock::new();
+        let b = Broker::with_clock(
+            BrokerConfig {
+                max_attempts: 1,
+                ..Default::default()
+            },
+            clock,
+        );
+        let sub = b.subscribe("rai", "tasks");
+        b.publish("rai", &b"one-shot"[..]).unwrap();
+        let _taken = sub.try_recv().unwrap();
+        drop(sub); // crash after the only allowed delivery
+        assert!(b.has_topic(&dead_letter_topic("rai", "tasks")));
+        let audit = b.subscribe(&dead_letter_topic("rai", "tasks"), "audit");
+        let d = audit.recv_timeout(Duration::from_millis(100)).unwrap();
+        assert_eq!(d.body_str(), "one-shot");
+    }
+
+    #[test]
+    fn injected_publish_faults_reject_deterministically() {
+        let mk = || {
+            let b = Broker::default();
+            b.set_fault_injector(FaultInjector::new(FaultPlan {
+                broker_publish: 0.2,
+                ..FaultPlan::none(21)
+            }));
+            let _keep = Box::leak(Box::new(b.subscribe("t", "ch")));
+            (0..200)
+                .map(|i| b.publish("t", format!("{i}")).is_err())
+                .collect::<Vec<bool>>()
+        };
+        let a = mk();
+        let c = mk();
+        assert_eq!(a, c, "same plan, same rejections");
+        let rejected = a.iter().filter(|&&e| e).count();
+        assert!((20..60).contains(&rejected), "got {rejected} rejections at p=0.2");
     }
 
     #[test]

@@ -30,6 +30,8 @@ pub mod broker;
 pub mod message;
 pub mod queue;
 
-pub use broker::{Broker, BrokerConfig, BrokerStats, PublishError, Subscription, TopicStats};
+pub use broker::{
+    dead_letter_topic, Broker, BrokerConfig, BrokerStats, PublishError, Subscription, TopicStats,
+};
 pub use message::{Message, MessageId};
 pub use queue::RecvError;

@@ -3,8 +3,9 @@
 //! in-flight set, under any interleaving of operations.
 
 use proptest::prelude::*;
-use rai_broker::{Broker, MessageId};
-use std::collections::VecDeque;
+use rai_broker::{dead_letter_topic, Broker, BrokerConfig, MessageId};
+use rai_sim::{SimDuration, VirtualClock};
+use std::collections::{HashMap, VecDeque};
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -117,5 +118,98 @@ proptest! {
             }
         }
         prop_assert!(sub.try_recv().is_none());
+    }
+
+    /// Attempt cap: a message that is always requeued is delivered
+    /// exactly `cap` times and then routed to the dead-letter topic —
+    /// and exhaustion order is publish order, so the dead-letter
+    /// channel replays the poison stream faithfully.
+    #[test]
+    fn attempt_cap_dead_letters_in_publish_order(
+        bodies in prop::collection::vec(any::<u8>(), 1..40),
+        cap in 1u32..5,
+    ) {
+        let broker = Broker::new(BrokerConfig { max_attempts: cap, ..Default::default() });
+        let sub = broker.subscribe("t", "ch");
+        let audit = broker.subscribe(&dead_letter_topic("t", "ch"), "audit");
+        for b in &bodies {
+            broker.publish("t", vec![*b]).expect("publish");
+        }
+
+        let mut deliveries: HashMap<MessageId, u32> = HashMap::new();
+        while let Some(m) = sub.try_recv() {
+            let d = deliveries.entry(m.id).or_insert(0);
+            *d += 1;
+            prop_assert_eq!(m.attempts, *d, "attempts counts deliveries");
+            prop_assert!(sub.requeue(m.id));
+        }
+
+        prop_assert_eq!(deliveries.len(), bodies.len());
+        for d in deliveries.values() {
+            prop_assert_eq!(*d, cap, "every message gets its full budget, no more");
+        }
+        let t = broker.topic_stats("t").expect("topic exists");
+        prop_assert_eq!(t.depth, 0);
+        prop_assert_eq!(t.in_flight, 0);
+        prop_assert_eq!(t.dead_lettered, bodies.len() as u64);
+
+        let mut dead = Vec::new();
+        while let Some(m) = audit.try_recv() {
+            prop_assert!(audit.ack(m.id));
+            dead.push(m.body[0]);
+        }
+        prop_assert_eq!(&dead, &bodies, "dead letters arrive in publish order");
+    }
+
+    /// `reclaim_expired` is a pure function of sim time: two brokers
+    /// driven through the same schedule reclaim the same messages and
+    /// redeliver them in the same order, and a claim expires iff the
+    /// clock advanced past the timeout.
+    #[test]
+    fn reclaim_expired_is_deterministic(
+        bodies in prop::collection::vec(any::<u8>(), 1..30),
+        claim in 0usize..30,
+        advance_secs in 0u64..200,
+    ) {
+        let timeout = SimDuration::from_secs(60);
+        let run = || {
+            let clock = VirtualClock::new();
+            let broker = Broker::with_clock(BrokerConfig::default(), clock.clone());
+            let sub = broker.subscribe("t", "ch");
+            for b in &bodies {
+                broker.publish("t", vec![*b]).expect("publish");
+            }
+            let mut claimed_ids = Vec::new();
+            for _ in 0..claim.min(bodies.len()) {
+                claimed_ids.push(sub.try_recv().expect("ready").id);
+            }
+            clock.advance(SimDuration::from_secs(advance_secs));
+            let reclaimed = broker.reclaim_expired(timeout);
+            let mut trace = Vec::new();
+            while let Some(m) = sub.try_recv() {
+                trace.push((m.id, m.body[0], m.attempts));
+                sub.ack(m.id);
+            }
+            (claimed_ids, reclaimed, trace)
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(&a, &b, "same schedule, same observable history");
+
+        let claimed = claim.min(bodies.len());
+        let expired = advance_secs >= 60;
+        prop_assert_eq!(a.1, if expired { claimed } else { 0 });
+        if expired {
+            // Unclaimed backlog first (attempt 1), then the reclaimed
+            // messages re-enqueued in id order (attempt 2).
+            prop_assert_eq!(a.2.len(), bodies.len());
+            let fresh = bodies.len() - claimed;
+            for (i, (id, _, attempts)) in a.2.iter().enumerate() {
+                prop_assert_eq!(*attempts, if i < fresh { 1 } else { 2 });
+                if i >= fresh {
+                    prop_assert_eq!(*id, a.0[i - fresh], "id order");
+                }
+            }
+        }
     }
 }

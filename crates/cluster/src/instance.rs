@@ -99,6 +99,9 @@ pub struct Instance {
     pub ready_at: SimTime,
     /// Termination time, if terminated.
     pub terminated_at: Option<SimTime>,
+    /// Whether termination was a failure (spot reclaim, hardware
+    /// death) rather than a planned scale-in.
+    pub failed: bool,
 }
 
 impl Instance {
@@ -144,6 +147,7 @@ mod tests {
             launched_at: t,
             ready_at: t + InstanceType::p2().provision_latency,
             terminated_at: None,
+            failed: false,
         }
     }
 

@@ -13,8 +13,11 @@ pub struct PoolStats {
     pub provisioning: usize,
     /// Instances accepting work.
     pub running: usize,
-    /// Instances terminated (ever).
+    /// Instances terminated (ever), including failures.
     pub terminated: usize,
+    /// Instances that died rather than being scaled in (subset of
+    /// `terminated`).
+    pub failed: usize,
     /// Cumulative billed cost in cents (terminated + live so far).
     pub cost_cents: u64,
 }
@@ -60,6 +63,7 @@ impl WorkerPool {
                         launched_at: now,
                         ready_at: now + itype.provision_latency,
                         terminated_at: None,
+                        failed: false,
                     },
                 );
                 id
@@ -75,6 +79,23 @@ impl WorkerPool {
         match inner.instances.get_mut(&id) {
             Some(inst) if inst.terminated_at.is_none() => {
                 inst.terminated_at = Some(now);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Kill an instance abruptly (spot reclaim, hardware death —
+    /// chaos-scenario instance death). Billing stops like a terminate,
+    /// but the instance is recorded as failed. Returns `false` if
+    /// unknown or already down.
+    pub fn fail(&self, id: InstanceId) -> bool {
+        let now = self.clock.now();
+        let mut inner = self.inner.lock();
+        match inner.instances.get_mut(&id) {
+            Some(inst) if inst.terminated_at.is_none() => {
+                inst.terminated_at = Some(now);
+                inst.failed = true;
                 true
             }
             _ => false,
@@ -138,7 +159,12 @@ impl WorkerPool {
             match i.state(now) {
                 InstanceState::Provisioning => s.provisioning += 1,
                 InstanceState::Running => s.running += 1,
-                InstanceState::Terminated => s.terminated += 1,
+                InstanceState::Terminated => {
+                    s.terminated += 1;
+                    if i.failed {
+                        s.failed += 1;
+                    }
+                }
             }
             s.cost_cents += i.cost_cents(now);
         }
@@ -180,6 +206,27 @@ mod tests {
         assert!(!pool.terminate(InstanceId(999)));
         assert_eq!(pool.live_count(), 1);
         assert_eq!(pool.stats().terminated, 1);
+    }
+
+    #[test]
+    fn fail_marks_instance_dead_and_stops_billing() {
+        let clock = VirtualClock::new();
+        let pool = WorkerPool::new(clock.clone());
+        let ids = pool.launch(InstanceType::p2(), 2);
+        clock.advance(SimDuration::from_mins(10));
+        assert!(pool.fail(ids[1]));
+        assert!(!pool.fail(ids[1]), "double fail is a no-op");
+        assert_eq!(pool.ready_instances(), vec![ids[0]]);
+        let s = pool.stats();
+        assert_eq!(s.terminated, 1);
+        assert_eq!(s.failed, 1);
+        let cost_at_death = s.cost_cents;
+        clock.advance(SimDuration::from_hours(5));
+        let s2 = pool.stats();
+        assert_eq!(s2.failed, 1);
+        assert!(s2.cost_cents - cost_at_death < 5 * 90 * 2, "dead instance stopped billing");
+        assert!(pool.get(ids[1]).unwrap().failed);
+        assert!(!pool.get(ids[0]).unwrap().failed);
     }
 
     #[test]

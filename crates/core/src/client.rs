@@ -20,6 +20,9 @@ use std::time::Duration;
 
 /// Bucket the client uploads packed projects to.
 pub const UPLOAD_BUCKET: &str = "rai-uploads";
+/// Bounded attempts the client makes against a transiently unavailable
+/// file server or broker before surfacing the error to the student.
+const CLIENT_RETRY_ATTEMPTS: u32 = 4;
 /// Bucket workers upload `/build` outputs to.
 pub const BUILD_BUCKET: &str = "rai-builds";
 
@@ -326,21 +329,32 @@ impl RaiClient {
         let job_id = self.next_job_id.fetch_add(1, Ordering::Relaxed);
         let bundle = pack(&project.tree);
         let upload_key = format!("{}/{job_id:08x}.tar.bz2", self.team.replace(' ', "-"));
-        self.store.put(
-            UPLOAD_BUCKET,
-            &upload_key,
-            bundle.bytes,
-            [
-                ("team".to_string(), self.team.clone()),
-                (
-                    "kind".to_string(),
-                    match mode {
-                        SubmitMode::Run => "run".to_string(),
-                        SubmitMode::Submit => "final".to_string(),
-                    },
-                ),
-            ],
-        )?;
+        // A transient file-server outage surfaces to the student as a
+        // long upload, not a failed submission: retry a few times
+        // before giving up.
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            match self.store.put(
+                UPLOAD_BUCKET,
+                &upload_key,
+                bundle.bytes.clone(),
+                [
+                    ("team".to_string(), self.team.clone()),
+                    (
+                        "kind".to_string(),
+                        match mode {
+                            SubmitMode::Run => "run".to_string(),
+                            SubmitMode::Submit => "final".to_string(),
+                        },
+                    ),
+                ],
+            ) {
+                Ok(_) => break,
+                Err(StoreError::Unavailable) if attempts < CLIENT_RETRY_ATTEMPTS => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
 
         // ④ Create and push the signed job request.
         let mut request = JobRequest {
@@ -361,8 +375,18 @@ impl RaiClient {
             &self.creds.access_key,
             &request.signing_payload(),
         );
-        self.broker
-            .publish(routes::TASK_TOPIC, request.encode())?;
+        let encoded = request.encode();
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            match self.broker.publish(routes::TASK_TOPIC, encoded.clone()) {
+                Ok(_) => break,
+                Err(PublishError::Unavailable { .. }) if attempts < CLIENT_RETRY_ATTEMPTS => {
+                    continue
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
 
         // ⑤ Subscribe to the ephemeral log topic. (The topic backlog
         // holds any frames the worker emitted before we got here.)

@@ -50,4 +50,4 @@ pub use client::{ProjectDir, RaiClient, SubmitError, SubmitMode, SubmitReceipt};
 pub use ranking::{RankEntry, RankingBoard};
 pub use spec::{BuildSpec, SpecError};
 pub use system::{RaiSystem, SystemConfig};
-pub use worker::{Worker, WorkerConfig};
+pub use worker::{CrashReport, JobOutcome, StepEvent, Worker, WorkerConfig};

@@ -9,10 +9,11 @@ use crate::client::{
 use crate::interactive::{InteractiveSession, SessionBroker, SessionConfig, SessionError};
 use crate::ranking::RankingBoard;
 use crate::ratelimit::{RateDecision, RateLimiter};
-use crate::worker::{JobOutcome, Worker, WorkerConfig};
+use crate::worker::{JobOutcome, StepEvent, Worker, WorkerConfig};
 use parking_lot::RwLock;
 use rai_auth::{Credentials, CredentialRegistry, KeyGenerator};
-use rai_broker::{Broker, BrokerStats};
+use rai_broker::{Broker, BrokerConfig, BrokerStats};
+use rai_faults::{CrashKind, FaultInjector, FaultPlan, RetryPolicy};
 use rai_db::{doc, Database};
 use rai_sandbox::{ImageRegistry, ResourceLimits};
 use rai_sim::{SimDuration, VirtualClock};
@@ -37,6 +38,12 @@ pub struct SystemConfig {
     pub rate_limit: Option<SimDuration>,
     /// Seed for key generation and worker noise.
     pub seed: u64,
+    /// Per-message delivery cap before the broker dead-letters it
+    /// (0 disables). Bounds redelivery loops from poison jobs.
+    pub broker_attempts: u32,
+    /// Deterministic fault plan; `None` (and [`FaultPlan::none`]) run
+    /// the system fault-free.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for SystemConfig {
@@ -48,6 +55,8 @@ impl Default for SystemConfig {
             limits: ResourceLimits::default(),
             rate_limit: Some(SimDuration::from_secs(30)),
             seed: 0x5EED,
+            broker_attempts: 8,
+            fault_plan: None,
         }
     }
 }
@@ -81,7 +90,12 @@ pub struct RaiSystem {
     next_job_id: Arc<AtomicU64>,
     sessions: SessionBroker,
     telemetry: Telemetry,
+    injector: Option<FaultInjector>,
 }
+
+/// In-flight timeout used when a stalled worker holds a claim: the
+/// driver advances the clock past it and reclaims.
+const MESSAGE_TIMEOUT: SimDuration = SimDuration::from_mins(10);
 
 impl RaiSystem {
     /// Stand up a deployment.
@@ -93,7 +107,13 @@ impl RaiSystem {
     /// Stand up a deployment on an existing clock (for discrete-event
     /// drivers).
     pub fn with_clock(config: SystemConfig, clock: VirtualClock) -> Self {
-        let broker = Broker::default();
+        let broker = Broker::with_clock(
+            BrokerConfig {
+                max_attempts: config.broker_attempts,
+                ..Default::default()
+            },
+            clock.clone(),
+        );
         let store = ObjectStore::new(clock.clone());
         store
             .create_bucket(UPLOAD_BUCKET, LifecycleRule::one_month_after_last_use())
@@ -105,6 +125,13 @@ impl RaiSystem {
         let registry = Arc::new(RwLock::new(CredentialRegistry::new()));
         let images = Arc::new(ImageRegistry::course_default());
         let telemetry = Telemetry::new(clock.clone());
+        // Attach the deterministic fault layer before any traffic flows.
+        let injector = config.fault_plan.clone().map(FaultInjector::new);
+        if let Some(inj) = &injector {
+            store.set_fault_injector(inj.clone());
+            db.set_fault_injector(inj.clone());
+            broker.set_fault_injector(inj.clone());
+        }
         let workers = (0..config.workers.max(1))
             .map(|i| {
                 let mut w = Worker::new(
@@ -114,6 +141,7 @@ impl RaiSystem {
                         gpu_speed: config.gpu_speed,
                         limits: config.limits,
                         noise_seed: config.seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15),
+                        retry: RetryPolicy::default(),
                     },
                     broker.clone(),
                     store.clone(),
@@ -122,6 +150,9 @@ impl RaiSystem {
                     images.clone(),
                 );
                 w.set_telemetry(telemetry.clone());
+                if let Some(inj) = &injector {
+                    w.set_fault_injector(inj.clone());
+                }
                 w
             })
             .collect();
@@ -134,10 +165,18 @@ impl RaiSystem {
                 reg.counter(names::BROKER_PUBLISHED_TOTAL, &[]).store(s.published);
                 reg.counter(names::BROKER_ACKED_TOTAL, &[]).store(s.acked);
                 reg.counter(names::BROKER_REQUEUED_TOTAL, &[]).store(s.requeued);
+                reg.counter(names::DEAD_LETTERED_TOTAL, &[]).store(s.dead_lettered);
                 reg.gauge(names::BROKER_QUEUE_DEPTH, &[]).set(s.depth as f64);
                 reg.gauge(names::BROKER_IN_FLIGHT, &[]).set(s.in_flight as f64);
                 reg.gauge(names::BROKER_CHANNELS, &[]).set(s.channels as f64);
             });
+            if let Some(inj) = injector.clone() {
+                telemetry.register_collector(move |reg| {
+                    for (kind, n) in inj.injected_counts() {
+                        reg.counter(names::FAULTS_INJECTED_TOTAL, &[("kind", kind)]).store(n);
+                    }
+                });
+            }
             let store = store.clone();
             telemetry.register_collector(move |reg| {
                 let u = store.usage();
@@ -174,6 +213,7 @@ impl RaiSystem {
             next_job_id: Arc::new(AtomicU64::new(1)),
             sessions: SessionBroker::new(images2),
             telemetry,
+            injector,
         }
     }
 
@@ -268,19 +308,36 @@ impl RaiSystem {
 
     /// Step workers round-robin until `stop` matches an outcome or no
     /// worker makes progress. Outcomes advance the shared virtual clock
-    /// by their service time. Returns all outcomes observed.
+    /// by their service time. Injected crashes restart the worker (and
+    /// stalls additionally wait out the in-flight timeout before the
+    /// broker reclaims the held message); either way the job message
+    /// survives to a later attempt. Returns all outcomes observed.
     pub fn drive_until(&mut self, stop: impl Fn(&JobOutcome) -> bool) -> Vec<JobOutcome> {
         let mut outcomes = Vec::new();
         loop {
             let mut progressed = false;
             for w in &mut self.workers {
-                if let Some(outcome) = w.step() {
-                    self.clock.advance(outcome.service_time);
-                    let done = stop(&outcome);
-                    outcomes.push(outcome);
-                    progressed = true;
-                    if done {
-                        return outcomes;
+                match w.try_step() {
+                    StepEvent::Idle => {}
+                    StepEvent::Done(outcome) => {
+                        self.clock.advance(outcome.service_time);
+                        let done = stop(&outcome);
+                        outcomes.push(outcome);
+                        progressed = true;
+                        if done {
+                            return outcomes;
+                        }
+                    }
+                    StepEvent::Crashed(report) => {
+                        self.clock.advance(report.wasted);
+                        if report.kind == CrashKind::Stall {
+                            // The frozen process holds its claim until
+                            // the broker's message timeout passes.
+                            self.clock.advance(MESSAGE_TIMEOUT);
+                            self.broker.reclaim_expired(MESSAGE_TIMEOUT);
+                        }
+                        w.crash_recover();
+                        progressed = true;
                     }
                 }
             }
@@ -344,6 +401,11 @@ impl RaiSystem {
     /// The telemetry handle (metrics registry, spans, job traces).
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
+    }
+
+    /// The attached fault injector, when a fault plan is active.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.injector.as_ref()
     }
 
     /// Direct worker access (ablation experiments).
@@ -450,6 +512,44 @@ mod tests {
         assert_eq!(metrics.counter_total(names::JOBS_TOTAL), 1);
         assert!(metrics.counter(names::DB_INSERTS_TOTAL, &[]).unwrap() > 0);
         assert!(!metrics.histograms_named(names::JOB_STAGE_SECONDS).is_empty());
+    }
+
+    #[test]
+    fn chaos_plan_still_terminates_every_job_exactly_once() {
+        let mut system = RaiSystem::new(SystemConfig {
+            workers: 3,
+            rate_limit: None,
+            fault_plan: Some(FaultPlan {
+                poison_every: None, // all jobs should eventually succeed
+                instance_deaths: Vec::new(),
+                ..FaultPlan::chaos(0xC0FFEE)
+            }),
+            ..Default::default()
+        });
+        let creds = system.register_team("t", &[]);
+        let client = system.client_for(&creds);
+        let mut submitted = 0;
+        for _ in 0..12 {
+            // Client-side retries absorb most injected faults; a
+            // publish rejection after retries is a visible (not lost)
+            // failure and simply isn't submitted.
+            if client
+                .begin_submit(&ProjectDir::sample_cuda_project(), SubmitMode::Run)
+                .is_ok()
+            {
+                submitted += 1;
+            }
+        }
+        system.drain();
+        // Every accepted submission reached exactly one terminal row.
+        assert_eq!(system.report().submissions, submitted);
+        let tasks = system
+            .broker()
+            .topic_stats(crate::protocol::routes::TASK_TOPIC)
+            .unwrap();
+        assert_eq!(tasks.depth, 0, "no job left behind");
+        assert_eq!(tasks.in_flight, 0, "no claim leaked");
+        assert_eq!(system.broker().stats().dead_lettered, 0, "no poison jobs in this plan");
     }
 
     #[test]

@@ -13,6 +13,17 @@
 //! the `max_in_flight` knob; contention noise from co-scheduled jobs is
 //! what made the staff switch to single-job workers for the benchmark
 //! weeks (reproduced by the concurrency ablation).
+//!
+//! ## Failure model
+//!
+//! Processing is at-least-once: a job message is acked only after its
+//! terminal database record lands. Transient store/db faults are
+//! absorbed by a bounded [`RetryPolicy`] whose backoff accrues into the
+//! job's simulated service time. An injected crash or stall
+//! ([`FaultInjector::crash_decision`]) aborts processing *without*
+//! acking, so the broker redelivers; side effects are idempotent (the
+//! `/build` upload overwrites the same key, the submission row is an
+//! upsert keyed on `job_id`), so redelivered work records exactly once.
 
 use crate::client::BUILD_BUCKET;
 use crate::protocol::{routes, JobKind, JobRequest, LogFrame};
@@ -20,7 +31,8 @@ use crate::spec::BuildSpec;
 use rai_archive::{pack, unpack};
 use rai_auth::CredentialRegistry;
 use rai_broker::{Broker, Subscription};
-use rai_db::{doc, Database, Value};
+use rai_db::{doc, Database, DbError, Value};
+use rai_faults::{CrashKind, CrashPoint, FaultInjector, RetryPolicy};
 use rai_sandbox::{Container, ContainerStatus, ImageRegistry, ResourceLimits};
 use rai_sim::SimDuration;
 use rai_telemetry::{names, stage, Telemetry};
@@ -44,6 +56,8 @@ pub struct WorkerConfig {
     pub limits: ResourceLimits,
     /// Seed for this worker's contention-noise RNG.
     pub noise_seed: u64,
+    /// Retry policy wrapping worker↔store and worker↔db operations.
+    pub retry: RetryPolicy,
 }
 
 impl Default for WorkerConfig {
@@ -54,6 +68,7 @@ impl Default for WorkerConfig {
             gpu_speed: 1.0,
             limits: ResourceLimits::default(),
             noise_seed: 0,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -71,10 +86,41 @@ pub struct JobOutcome {
     /// Whether the build+run succeeded.
     pub success: bool,
     /// Total simulated time the job occupied the worker (pull +
-    /// transfers + container execution).
+    /// transfers + container execution + retry backoff).
     pub service_time: SimDuration,
     /// The measured program runtime (internal timer), if a program ran.
     pub measured_secs: Option<f64>,
+}
+
+/// An injected mid-job failure: the worker died (or froze) while
+/// holding an unacked message.
+#[derive(Clone, Debug)]
+pub struct CrashReport {
+    /// Job being processed when the fault hit.
+    pub job_id: u64,
+    /// Team that submitted it.
+    pub team: String,
+    /// Pipeline point where the fault landed.
+    pub point: CrashPoint,
+    /// Death vs freeze (a freeze holds its claim until the broker's
+    /// message timeout reclaims it).
+    pub kind: CrashKind,
+    /// Simulated time burnt before the fault hit (the driver still
+    /// advances the clock by this much).
+    pub wasted: SimDuration,
+}
+
+/// What one scheduling step of the worker produced.
+#[derive(Clone, Debug)]
+pub enum StepEvent {
+    /// Queue empty or at the in-flight limit.
+    Idle,
+    /// A job ran to a terminal state and its message was acked.
+    Done(JobOutcome),
+    /// The worker crashed or stalled mid-job; the message was *not*
+    /// acked. After a crash, call [`Worker::crash_recover`]; after a
+    /// stall, the claim times out via `Broker::reclaim_expired`.
+    Crashed(CrashReport),
 }
 
 /// The worker agent.
@@ -90,6 +136,7 @@ pub struct Worker {
     active_jobs: usize,
     rng: StdRng,
     telemetry: Option<Telemetry>,
+    injector: Option<FaultInjector>,
 }
 
 impl Worker {
@@ -116,6 +163,7 @@ impl Worker {
             active_jobs: 0,
             rng,
             telemetry: None,
+            injector: None,
         }
     }
 
@@ -123,6 +171,12 @@ impl Worker {
     /// active-jobs gauge are recorded through it from then on.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = Some(telemetry);
+    }
+
+    /// Attach a fault injector; crash/stall decisions consult it per
+    /// job attempt from then on.
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.injector = Some(injector);
     }
 
     /// This worker's id.
@@ -148,29 +202,88 @@ impl Worker {
     }
 
     /// Pop and fully process one task message. Returns `None` when the
-    /// queue is empty or this worker is at its in-flight limit (the
-    /// message is left for / requeued to other workers).
+    /// queue is empty, this worker is at its in-flight limit, or the
+    /// job crashed mid-flight (in which case the worker restarts
+    /// immediately and the message redelivers). Fault-aware drivers
+    /// should use [`Worker::try_step`] instead.
     pub fn step(&mut self) -> Option<JobOutcome> {
+        match self.try_step() {
+            StepEvent::Idle => None,
+            StepEvent::Done(outcome) => Some(outcome),
+            StepEvent::Crashed(_) => {
+                self.crash_recover();
+                None
+            }
+        }
+    }
+
+    /// Pop one task message and run it, reporting crashes instead of
+    /// hiding them. A crashed job's message is left unacked: a `Crash`
+    /// releases it when [`Worker::crash_recover`] drops the old
+    /// subscription; a `Stall` holds it until the broker's message
+    /// timeout (`reclaim_expired`) fires.
+    pub fn try_step(&mut self) -> StepEvent {
         if self.active_jobs >= self.config.max_in_flight {
-            return None;
+            return StepEvent::Idle;
         }
         loop {
-            let msg = self.subscription.try_recv()?;
+            let Some(msg) = self.subscription.try_recv() else {
+                return StepEvent::Idle;
+            };
             // ② Parse the message; malformed messages are dropped
             // (acked) — they can never become valid — and the worker
             // moves on to the next queued job.
             let Some(request) = JobRequest::decode(&msg.body_str()) else {
+                if let Some(t) = &self.telemetry {
+                    t.counter(names::JOBS_MALFORMED_TOTAL, &[]).inc();
+                }
+                rai_telemetry::log!(
+                    warn,
+                    "worker {}: dropping malformed task message {} ({} bytes)",
+                    self.config.worker_id,
+                    msg.id,
+                    msg.body.len()
+                );
                 self.subscription.ack(msg.id);
                 continue;
             };
+            let attempt = u64::from(msg.attempts.max(1));
+            if attempt > 1 {
+                if let Some(t) = &self.telemetry {
+                    t.counter(names::REDELIVERIES_TOTAL, &[]).inc();
+                }
+            }
             self.active_jobs += 1;
             self.set_active_gauge();
-            let outcome = self.process(&request);
+            let co = self.active_jobs.saturating_sub(1);
+            let result = self.run_job(&request, attempt, co);
             self.active_jobs -= 1;
             self.set_active_gauge();
-            self.subscription.ack(msg.id);
-            return Some(outcome);
+            return match result {
+                Ok(outcome) => {
+                    self.subscription.ack(msg.id);
+                    StepEvent::Done(outcome)
+                }
+                Err(report) => {
+                    if let Some(t) = &self.telemetry {
+                        t.counter(names::WORKER_CRASHES_TOTAL, &[("kind", report.kind.label())])
+                            .inc();
+                    }
+                    StepEvent::Crashed(report)
+                }
+            };
         }
+    }
+
+    /// Restart after a crash: a fresh subscription claims a new
+    /// subscriber id, and dropping the old one releases its unacked
+    /// claims back to the queue (or to the dead-letter topic once over
+    /// the broker's attempt cap).
+    pub fn crash_recover(&mut self) {
+        let fresh = self.broker.subscribe(routes::TASK_TOPIC, routes::TASK_CHANNEL);
+        drop(std::mem::replace(&mut self.subscription, fresh));
+        self.active_jobs = 0;
+        self.set_active_gauge();
     }
 
     fn set_active_gauge(&self) {
@@ -193,6 +306,16 @@ impl Worker {
         }
     }
 
+    /// Count the extra attempts a retried operation burnt.
+    fn note_retries(&self, op: &'static str, attempts: u32) {
+        if attempts > 1 {
+            if let Some(t) = &self.telemetry {
+                t.counter(names::RETRIES_TOTAL, &[("op", op)])
+                    .add(u64::from(attempts - 1));
+            }
+        }
+    }
+
     /// Record a lifecycle stage at `started + elapsed` and its duration
     /// since the previous stage boundary in the per-stage histogram.
     fn note_stage(
@@ -210,6 +333,48 @@ impl Worker {
         }
     }
 
+    /// Seed for one operation's retry jitter, stable across runs.
+    fn op_seed(&self, job_id: u64, attempt: u64, op: u64) -> u64 {
+        self.config.noise_seed
+            ^ job_id.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ attempt.rotate_left(32)
+            ^ op.wrapping_mul(0xD1B5_4A32_D192_ED03)
+    }
+
+    /// Consult the injector (if any) for a crash/stall at `point`.
+    fn crash_check(
+        &self,
+        request: &JobRequest,
+        attempt: u64,
+        point: CrashPoint,
+        wasted: SimDuration,
+    ) -> Result<(), CrashReport> {
+        let Some(inj) = &self.injector else { return Ok(()) };
+        match inj.crash_decision(request.job_id, attempt, point) {
+            Some(kind) => Err(CrashReport {
+                job_id: request.job_id,
+                team: request.team.clone(),
+                point,
+                kind,
+                wasted,
+            }),
+            None => Ok(()),
+        }
+    }
+
+    /// The crash report for a database record that would not persist
+    /// even after retries: the worker gives up without acking so the
+    /// message redelivers to a (hopefully healthier) attempt.
+    fn db_crash(&self, request: &JobRequest, wasted: SimDuration) -> CrashReport {
+        CrashReport {
+            job_id: request.job_id,
+            team: request.team.clone(),
+            point: CrashPoint::Record,
+            kind: CrashKind::Crash,
+            wasted,
+        }
+    }
+
     /// Process an already-accepted request (also used directly by the
     /// discrete-event driver, which manages queueing itself).
     pub fn process(&mut self, request: &JobRequest) -> JobOutcome {
@@ -220,8 +385,34 @@ impl Worker {
     /// Process a request while `co_scheduled` other jobs share this
     /// host — the lever behind the paper's "the worker accepts only one
     /// task at a time – this makes the performance timing more accurate
-    /// and repeatable" (measured by the concurrency ablation).
+    /// and repeatable" (measured by the concurrency ablation). Crashes
+    /// are folded into a failed outcome; fault-aware drivers use
+    /// [`Worker::run_job`].
     pub fn process_with_coscheduled(&mut self, request: &JobRequest, co_scheduled: usize) -> JobOutcome {
+        match self.run_job(request, 1, co_scheduled) {
+            Ok(outcome) => outcome,
+            Err(report) => JobOutcome {
+                job_id: report.job_id,
+                team: report.team,
+                kind: request.kind,
+                success: false,
+                service_time: report.wasted,
+                measured_secs: None,
+            },
+        }
+    }
+
+    /// Run delivery `attempt` of a request end to end. `Ok` means the
+    /// job reached a terminal state *and* its database record
+    /// persisted; `Err` means an injected crash/stall (or a db record
+    /// that outlasted its retries) aborted processing and the message
+    /// must not be acked.
+    pub fn run_job(
+        &mut self,
+        request: &JobRequest,
+        attempt: u64,
+        co_scheduled: usize,
+    ) -> Result<JobOutcome, CrashReport> {
         let log_topic = routes::log_topic(request.job_id);
         // All stage timestamps are `started + accumulated service time`:
         // the driver advances the shared clock only after the outcome,
@@ -268,10 +459,13 @@ impl Worker {
         let user = match auth {
             Ok(u) => u,
             Err(e) => {
-                let out = fail(&self.broker, format!("authentication failed: {e}"), service_time);
-                self.record_submission(request, "auth-rejected", None, SimDuration::ZERO, false, log_bytes.get());
-                self.note_outcome(request, "auth-rejected", service_time);
-                return out;
+                let mut out = fail(&self.broker, format!("authentication failed: {e}"), service_time);
+                let backoff = self
+                    .record_submission(request, "auth-rejected", None, SimDuration::ZERO, false, log_bytes.get())
+                    .map_err(|_| self.db_crash(request, service_time))?;
+                out.service_time += backoff;
+                self.note_outcome(request, "auth-rejected", out.service_time);
+                return Ok(out);
             }
         };
 
@@ -279,10 +473,13 @@ impl Worker {
         let spec = match BuildSpec::parse(&request.build_yml) {
             Ok(s) => s,
             Err(e) => {
-                let out = fail(&self.broker, e.to_string(), service_time);
-                self.record_submission(request, &user, None, SimDuration::ZERO, false, log_bytes.get());
-                self.note_outcome(request, "bad-spec", service_time);
-                return out;
+                let mut out = fail(&self.broker, e.to_string(), service_time);
+                let backoff = self
+                    .record_submission(request, &user, None, SimDuration::ZERO, false, log_bytes.get())
+                    .map_err(|_| self.db_crash(request, service_time))?;
+                out.service_time += backoff;
+                self.note_outcome(request, "bad-spec", out.service_time);
+                return Ok(out);
             }
         };
 
@@ -290,10 +487,13 @@ impl Worker {
         let image = match self.images.resolve(&spec.image) {
             Ok(img) => img.clone(),
             Err(e) => {
-                let out = fail(&self.broker, e.to_string(), service_time);
-                self.record_submission(request, &user, None, SimDuration::ZERO, false, log_bytes.get());
-                self.note_outcome(request, "image-rejected", service_time);
-                return out;
+                let mut out = fail(&self.broker, e.to_string(), service_time);
+                let backoff = self
+                    .record_submission(request, &user, None, SimDuration::ZERO, false, log_bytes.get())
+                    .map_err(|_| self.db_crash(request, service_time))?;
+                out.service_time += backoff;
+                self.note_outcome(request, "image-rejected", out.service_time);
+                return Ok(out);
             }
         };
         if !self.cached_images.contains(&image.name) {
@@ -309,18 +509,27 @@ impl Worker {
         }
 
         // ④ Download the project archive and mount it.
-        let project = match self
-            .store
-            .get(&request.upload_bucket, &request.upload_key)
+        self.crash_check(request, attempt, CrashPoint::Fetch, service_time)?;
+        let fetched = self.config.retry.run(
+            self.op_seed(request.job_id, attempt, 1),
+            |_| self.store.get(&request.upload_bucket, &request.upload_key),
+        );
+        self.note_retries("store_get", fetched.attempts);
+        service_time += fetched.backoff;
+        let project = match fetched
+            .result
             .map_err(|e| e.to_string())
             .and_then(|obj| unpack(&obj.data).map_err(|e| e.to_string()))
         {
             Ok(tree) => tree,
             Err(e) => {
-                let out = fail(&self.broker, format!("failed to fetch project: {e}"), service_time);
-                self.record_submission(request, &user, None, SimDuration::ZERO, false, log_bytes.get());
-                self.note_outcome(request, "fetch-failed", service_time);
-                return out;
+                let mut out = fail(&self.broker, format!("failed to fetch project: {e}"), service_time);
+                let backoff = self
+                    .record_submission(request, &user, None, SimDuration::ZERO, false, log_bytes.get())
+                    .map_err(|_| self.db_crash(request, service_time))?;
+                out.service_time += backoff;
+                self.note_outcome(request, "fetch-failed", out.service_time);
+                return Ok(out);
             }
         };
         // Transfer latency: 100 MB/s from the file server.
@@ -334,6 +543,7 @@ impl Worker {
             (service_time - before_fetch).as_secs_f64(),
         );
 
+        self.crash_check(request, attempt, CrashPoint::Build, service_time)?;
         let mut limits = self.config.limits;
         if let Some(gpus) = spec.gpus {
             // The spec may *lower* the GPU count (future machine
@@ -369,28 +579,36 @@ impl Worker {
             }
         }
 
-        // ⑥ Upload /build and send the URL + End.
+        // ⑥ Upload /build and send the URL + End. The key is a pure
+        // function of (team, job_id): a redelivered attempt overwrites
+        // its own previous upload instead of duplicating it.
+        self.crash_check(request, attempt, CrashPoint::Upload, service_time)?;
         let build_bundle = pack(&report.build_dir);
         let build_key = format!("{}/{:08x}-build.tar.bz2", request.team.replace(' ', "-"), request.job_id);
-        let uploaded = self
-            .store
-            .put(
-                BUILD_BUCKET,
-                &build_key,
-                build_bundle.bytes,
-                [
-                    ("team".to_string(), request.team.clone()),
-                    (
-                        "kind".to_string(),
-                        match request.kind {
-                            JobKind::Run => "run".to_string(),
-                            JobKind::Submit => "final".to_string(),
-                        },
-                    ),
-                    ("source".to_string(), request.upload_key.clone()),
-                ],
-            )
-            .is_ok();
+        let upload = self.config.retry.run(
+            self.op_seed(request.job_id, attempt, 2),
+            |_| {
+                self.store.put(
+                    BUILD_BUCKET,
+                    &build_key,
+                    build_bundle.bytes.clone(),
+                    [
+                        ("team".to_string(), request.team.clone()),
+                        (
+                            "kind".to_string(),
+                            match request.kind {
+                                JobKind::Run => "run".to_string(),
+                                JobKind::Submit => "final".to_string(),
+                            },
+                        ),
+                        ("source".to_string(), request.upload_key.clone()),
+                    ],
+                )
+            },
+        );
+        self.note_retries("store_put", upload.attempts);
+        service_time += upload.backoff;
+        let uploaded = upload.result.is_ok();
         if uploaded {
             // A presigned URL (valid 7 days) so the student downloads
             // the archive without holding file-server credentials.
@@ -414,11 +632,18 @@ impl Worker {
         let measured = report.internal_timer_secs();
         publish(&self.broker, LogFrame::End { success });
 
-        // ⑦ Record the submission metadata.
-        self.record_submission(request, &user, measured, report.elapsed, success, log_bytes.get());
+        // ⑦ Record the submission metadata. Failure to persist is a
+        // crash: the message stays unacked and redelivers.
+        let mut backoff = self
+            .record_submission(request, &user, measured, report.elapsed, success, log_bytes.get())
+            .map_err(|_| self.db_crash(request, service_time))?;
         if request.kind == JobKind::Submit && success {
-            self.record_ranking(request, measured, report.elapsed, &build_key);
+            backoff += self
+                .record_ranking(request, measured, report.elapsed, &build_key)
+                .map_err(|_| self.db_crash(request, service_time))?;
         }
+        service_time += backoff;
+        self.crash_check(request, attempt, CrashPoint::Ack, service_time)?;
         if let Some(t) = &self.telemetry {
             t.trace_stage_at(request.job_id, stage::GRADED, started + service_time);
             let span = t.span("worker.job").label("worker", &self.config.worker_id);
@@ -426,18 +651,21 @@ impl Worker {
         }
         self.note_outcome(request, if success { "ok" } else { "failed" }, service_time);
 
-        JobOutcome {
+        Ok(JobOutcome {
             job_id: request.job_id,
             team: request.team.clone(),
             kind: request.kind,
             success,
             service_time,
             measured_secs: measured,
-        }
+        })
     }
 
     /// Submission metadata — "execution times, run-times, and logs …
     /// useful for grading or any other coursework auditing process."
+    /// Upserts keyed on `job_id` so a redelivered attempt overwrites
+    /// its own row rather than double-counting the submission. Returns
+    /// the retry backoff to fold into the job's service time.
     #[allow(clippy::too_many_arguments)]
     fn record_submission(
         &self,
@@ -447,19 +675,29 @@ impl Worker {
         wall: SimDuration,
         success: bool,
         log_bytes: u64,
-    ) {
-        self.db.collection("submissions").write().insert_one(doc! {
-            "job_id" => request.job_id,
-            "team" => request.team.as_str(),
-            "user" => user,
-            "kind" => match request.kind { JobKind::Run => "run", JobKind::Submit => "submit" },
-            "success" => success,
-            "internal_secs" => measured_secs.map(Value::from).unwrap_or(Value::Null),
-            "wall_secs" => wall.as_secs_f64(),
-            "worker" => self.config.worker_id.as_str(),
-            "upload_key" => request.upload_key.as_str(),
-            "log_bytes" => log_bytes,
-        });
+    ) -> Result<SimDuration, DbError> {
+        let guarded = self.config.retry.run(
+            self.op_seed(request.job_id, 0, 3),
+            |_| self.db.guard("record_submission"),
+        );
+        self.note_retries("db_record", guarded.attempts);
+        guarded.result?;
+        self.db.collection("submissions").write().update_one(
+            &doc! { "job_id" => request.job_id },
+            &doc! { "$set" => doc!{
+                "team" => request.team.as_str(),
+                "user" => user,
+                "kind" => match request.kind { JobKind::Run => "run", JobKind::Submit => "submit" },
+                "success" => success,
+                "internal_secs" => measured_secs.map(Value::from).unwrap_or(Value::Null),
+                "wall_secs" => wall.as_secs_f64(),
+                "worker" => self.config.worker_id.as_str(),
+                "upload_key" => request.upload_key.as_str(),
+                "log_bytes" => log_bytes,
+            } },
+            true,
+        );
+        Ok(guarded.backoff)
     }
 
     /// Final-submission ranking — "the timing results are recorded onto
@@ -473,8 +711,14 @@ impl Worker {
         measured_secs: Option<f64>,
         wall: SimDuration,
         build_key: &str,
-    ) {
-        let Some(secs) = measured_secs else { return };
+    ) -> Result<SimDuration, DbError> {
+        let Some(secs) = measured_secs else { return Ok(SimDuration::ZERO) };
+        let guarded = self.config.retry.run(
+            self.op_seed(request.job_id, 0, 4),
+            |_| self.db.guard("record_ranking"),
+        );
+        self.note_retries("db_record", guarded.attempts);
+        guarded.result?;
         self.db.collection("rankings").write().update_one(
             &doc! { "team" => request.team.as_str() },
             &doc! { "$set" => doc!{
@@ -485,6 +729,7 @@ impl Worker {
             } },
             true,
         );
+        Ok(guarded.backoff)
     }
 }
 
@@ -493,6 +738,7 @@ mod tests {
     use super::*;
     use crate::client::{ProjectDir, RaiClient, SubmitMode};
     use rai_auth::KeyGenerator;
+    use rai_faults::FaultPlan;
     use rai_sim::VirtualClock;
     use rai_store::{LifecycleRule, ObjectStore};
     use std::sync::atomic::AtomicU64;
@@ -702,9 +948,11 @@ mod tests {
     }
 
     #[test]
-    fn malformed_message_dropped() {
+    fn malformed_message_dropped_and_counted() {
         let rig = rig();
         let (_client, mut worker) = client_and_worker(&rig, "team-a");
+        let telemetry = Telemetry::new(rig.store.clock().clone());
+        worker.set_telemetry(telemetry.clone());
         rig.broker
             .publish(routes::TASK_TOPIC, &b"totally not a job"[..])
             .unwrap();
@@ -713,5 +961,120 @@ mod tests {
         let stats = rig.broker.topic_stats(routes::TASK_TOPIC).unwrap();
         assert_eq!(stats.depth, 0);
         assert_eq!(stats.in_flight, 0);
+        assert_eq!(
+            telemetry.snapshot().counter_total(names::JOBS_MALFORMED_TOTAL),
+            1,
+            "malformed message counted"
+        );
+    }
+
+    #[test]
+    fn transient_store_fault_retried_within_job() {
+        let rig = rig();
+        let (client, mut worker) = client_and_worker(&rig, "team-a");
+        let telemetry = Telemetry::new(rig.store.clock().clone());
+        worker.set_telemetry(telemetry.clone());
+        let pending = client
+            .begin_submit(&ProjectDir::sample_cuda_project(), SubmitMode::Run)
+            .unwrap();
+        // One store fault after the client's upload: the worker's fetch
+        // hits it and retries.
+        rig.store.inject_faults(1);
+        let outcome = worker.step().expect("job still completes");
+        assert!(outcome.success);
+        pending.wait(Duration::from_millis(500)).unwrap();
+        let retried = telemetry.snapshot().counter_total(names::RETRIES_TOTAL);
+        assert!(retried >= 1, "fetch retry counted, got {retried}");
+    }
+
+    #[test]
+    fn crash_after_record_redelivers_and_records_exactly_once() {
+        // Find a seed where job 1 dies at the Ack point on attempt 1
+        // (after its upload + db record landed) and survives attempt 2
+        // — the idempotency stress case.
+        let plan_for = |seed: u64| FaultPlan {
+            worker_crash: 0.35,
+            ..FaultPlan::none(seed)
+        };
+        let all_points = [CrashPoint::Fetch, CrashPoint::Build, CrashPoint::Upload, CrashPoint::Ack];
+        let seed = (0..2_000u64)
+            .find(|&s| {
+                let inj = FaultInjector::new(plan_for(s));
+                matches!(inj.crash_decision(1, 1, CrashPoint::Ack), Some(CrashKind::Crash))
+                    && all_points.iter().all(|&p| inj.crash_decision(1, 2, p).is_none())
+            })
+            .expect("some seed crashes job 1 at Ack on attempt 1 only");
+
+        let rig = rig();
+        let (client, mut worker) = client_and_worker(&rig, "team-a");
+        worker.set_fault_injector(FaultInjector::new(plan_for(seed)));
+        let project = ProjectDir::sample_cuda_project().with_final_artifacts();
+        let pending = client.begin_submit(&project, SubmitMode::Submit).unwrap();
+
+        let StepEvent::Crashed(report) = worker.try_step() else {
+            panic!("attempt 1 should crash");
+        };
+        assert_eq!(report.point, CrashPoint::Ack);
+        // Side effects of attempt 1 already landed...
+        assert_eq!(rig.db.collection("submissions").read().len(), 1);
+        assert_eq!(rig.db.collection("rankings").read().len(), 1);
+
+        // ...the restart releases the claim and attempt 2 reprocesses.
+        worker.crash_recover();
+        let StepEvent::Done(outcome) = worker.try_step() else {
+            panic!("attempt 2 should complete");
+        };
+        assert!(outcome.success);
+        pending.wait(Duration::from_millis(500)).unwrap();
+
+        // Exactly one terminal row per job / per team, no duplicates.
+        assert_eq!(rig.db.collection("submissions").read().len(), 1);
+        assert_eq!(rig.db.collection("rankings").read().len(), 1);
+        let row = rig
+            .db
+            .collection("submissions")
+            .read()
+            .find_one(&doc! { "job_id" => 1 })
+            .unwrap();
+        assert_eq!(row.get("success"), Some(&Value::Bool(true)));
+        // Queue fully drained: nothing lost, nothing stuck in flight.
+        let stats = rig.broker.topic_stats(routes::TASK_TOPIC).unwrap();
+        assert_eq!((stats.depth, stats.in_flight), (0, 0));
+    }
+
+    #[test]
+    fn poison_job_crashes_every_attempt_until_dead_lettered() {
+        let mut plan = FaultPlan::none(7);
+        plan.poison_every = Some(1); // every job is poison
+        let mut rig = rig();
+        rig.broker = Broker::new(rai_broker::BrokerConfig {
+            max_attempts: 3,
+            ..Default::default()
+        });
+        let (client, mut worker) = client_and_worker(&rig, "team-a");
+        worker.set_fault_injector(FaultInjector::new(plan));
+        let dead = rig.broker.subscribe(
+            &rai_broker::dead_letter_topic(routes::TASK_TOPIC, routes::TASK_CHANNEL),
+            "audit",
+        );
+        client
+            .begin_submit(&ProjectDir::sample_cuda_project(), SubmitMode::Run)
+            .unwrap();
+        for _ in 0..3 {
+            match worker.try_step() {
+                StepEvent::Crashed(r) => {
+                    assert_eq!(r.point, CrashPoint::Build);
+                    worker.crash_recover();
+                }
+                other => panic!("poison job should crash every attempt, got {other:?}"),
+            }
+        }
+        // Attempt cap reached: the message moved to the dead-letter
+        // topic instead of the ready queue.
+        assert!(worker.step().is_none(), "queue is empty for the worker");
+        let msg = dead.try_recv().expect("poison job dead-lettered");
+        assert!(JobRequest::decode(&msg.body_str()).is_some());
+        dead.ack(msg.id);
+        assert_eq!(rig.db.collection("submissions").read().len(), 0, "never reached a record");
     }
 }

@@ -5,16 +5,57 @@ use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+/// Database-level failure. The in-memory engine itself cannot fail;
+/// this models the *connection* to a real MongoDB deployment, which
+/// can — and is produced by an attached fault injector.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DbError {
+    /// Transient connection failure; the operation did not happen.
+    /// Retryable.
+    Unavailable,
+}
+
+impl std::fmt::Display for DbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DbError::Unavailable => write!(f, "database temporarily unavailable"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
 /// A handle to a database of named collections. Cloning shares state.
 #[derive(Clone, Default)]
 pub struct Database {
     collections: Arc<RwLock<BTreeMap<String, Arc<RwLock<Collection>>>>>,
+    injector: Arc<RwLock<Option<rai_faults::FaultInjector>>>,
 }
 
 impl Database {
     /// An empty database.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attach a seeded fault injector. The engine stays infallible;
+    /// [`Database::guard`] consults the injector so callers can model
+    /// connection failures at their transaction boundaries.
+    pub fn set_fault_injector(&self, injector: rai_faults::FaultInjector) {
+        *self.injector.write() = Some(injector);
+    }
+
+    /// Fail-fast check run at the start of a logical database
+    /// operation: returns [`DbError::Unavailable`] when the attached
+    /// injector (if any) decides this op's connection drops. Callers
+    /// wrap `guard` + collection access in a retry policy.
+    pub fn guard(&self, _op: &str) -> Result<(), DbError> {
+        match self.injector.read().as_ref() {
+            Some(inj) if inj.should_fail(rai_faults::FaultKind::DbOp) => {
+                Err(DbError::Unavailable)
+            }
+            _ => Ok(()),
+        }
     }
 
     /// Get (creating on first use) a collection handle. Lock it with
@@ -71,6 +112,19 @@ mod tests {
         let db2 = db.clone();
         assert_eq!(db2.collection("submissions").read().len(), 1);
         assert_eq!(db.collection_names(), vec!["submissions"]);
+    }
+
+    #[test]
+    fn guard_fails_per_injector_plan() {
+        let db = Database::new();
+        assert_eq!(db.guard("insert"), Ok(()), "no injector: infallible");
+        db.set_fault_injector(rai_faults::FaultInjector::new(rai_faults::FaultPlan {
+            db_op: 1.0,
+            ..rai_faults::FaultPlan::none(9)
+        }));
+        assert_eq!(db.guard("insert"), Err(DbError::Unavailable));
+        let clone = db.clone();
+        assert_eq!(clone.guard("query"), Err(DbError::Unavailable), "clones share the injector");
     }
 
     #[test]

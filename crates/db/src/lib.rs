@@ -41,7 +41,7 @@ pub mod value;
 
 pub use aggregate::{aggregate, Accumulator, Stage};
 pub use collection::{Collection, CollectionStats, DocId, FindOptions, SortOrder};
-pub use database::Database;
+pub use database::{Database, DbError};
 pub use query::matches;
 pub use update::apply_update;
 pub use value::{Document, Value};

@@ -65,6 +65,8 @@ struct StoreInner {
     counters: RwLock<Counters>,
     /// Remaining operations that should fail (fault injection).
     faults: std::sync::atomic::AtomicU64,
+    /// Probability-driven fault injection (chaos runs).
+    injector: RwLock<Option<rai_faults::FaultInjector>>,
 }
 
 /// Cumulative usage snapshot — backs the paper's §VII resource-usage
@@ -115,6 +117,7 @@ impl ObjectStore {
                 buckets: RwLock::new(BTreeMap::new()),
                 counters: RwLock::new(Counters::default()),
                 faults: std::sync::atomic::AtomicU64::new(0),
+                injector: RwLock::new(None),
             }),
         }
     }
@@ -149,6 +152,14 @@ impl ObjectStore {
             .store(n, std::sync::atomic::Ordering::SeqCst);
     }
 
+    /// Attach a seeded fault injector: each put/get additionally fails
+    /// with [`StoreError::Unavailable`] per the injector's plan
+    /// (`store_put` / `store_get` probabilities). Coexists with the
+    /// [`ObjectStore::inject_faults`] budget, which always fires first.
+    pub fn set_fault_injector(&self, injector: rai_faults::FaultInjector) {
+        *self.inner.injector.write() = Some(injector);
+    }
+
     fn take_fault(&self) -> bool {
         self.inner
             .faults
@@ -160,6 +171,13 @@ impl ObjectStore {
             .is_ok()
     }
 
+    fn injected_fault(&self, kind: rai_faults::FaultKind) -> bool {
+        match self.inner.injector.read().as_ref() {
+            Some(inj) => inj.should_fail(kind),
+            None => false,
+        }
+    }
+
     /// Upload (or overwrite) an object; returns its etag.
     pub fn put(
         &self,
@@ -168,7 +186,7 @@ impl ObjectStore {
         data: impl Into<Bytes>,
         user_meta: impl IntoIterator<Item = (String, String)>,
     ) -> Result<String, StoreError> {
-        if self.take_fault() {
+        if self.take_fault() || self.injected_fault(rai_faults::FaultKind::StorePut) {
             return Err(StoreError::Unavailable);
         }
         let data = data.into();
@@ -205,7 +223,7 @@ impl ObjectStore {
     /// Download an object. Refreshes its `last_used` stamp (which is what
     /// makes the paper's "one month after the last use" policy work).
     pub fn get(&self, bucket: &str, key: &str) -> Result<StoredObject, StoreError> {
-        if self.take_fault() {
+        if self.take_fault() || self.injected_fault(rai_faults::FaultKind::StoreGet) {
             return Err(StoreError::Unavailable);
         }
         let now = self.inner.clock.now();
@@ -561,6 +579,29 @@ mod tests {
         // Budget exhausted: service recovers.
         assert!(s.get("keep", "k").is_ok());
         assert!(s.put("keep", "k2", &b"v"[..], []).is_ok());
+    }
+
+    #[test]
+    fn seeded_injector_fails_ops_reproducibly() {
+        let run = || {
+            let s = store();
+            s.set_fault_injector(rai_faults::FaultInjector::new(rai_faults::FaultPlan {
+                store_put: 0.2,
+                store_get: 0.2,
+                ..rai_faults::FaultPlan::none(5)
+            }));
+            let mut outcomes = Vec::new();
+            for i in 0..100 {
+                outcomes.push(s.put("keep", &format!("k{i}"), &b"v"[..], []).is_err());
+                outcomes.push(s.get("keep", &format!("k{i}")).is_err());
+            }
+            outcomes
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed, same fault stream");
+        assert!(a.iter().any(|&e| e), "p=0.2 over 200 ops should fire");
+        assert!(a.iter().any(|&e| !e), "and should not fire every time");
     }
 
     #[test]

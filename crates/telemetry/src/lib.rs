@@ -68,6 +68,13 @@ pub mod names {
     pub const AUTOSCALER_POOL_SIZE: &str = "rai_autoscaler_pool_size";
     pub const AUTOSCALER_SCALE_EVENTS_TOTAL: &str = "rai_autoscaler_scale_events_total";
     pub const RATELIMIT_DENIED_TOTAL: &str = "rai_ratelimit_denied_total";
+    // Failure & recovery (chaos) metrics.
+    pub const RETRIES_TOTAL: &str = "rai_retries_total";
+    pub const REDELIVERIES_TOTAL: &str = "rai_redeliveries_total";
+    pub const DEAD_LETTERED_TOTAL: &str = "rai_dead_lettered_total";
+    pub const FAULTS_INJECTED_TOTAL: &str = "rai_faults_injected_total";
+    pub const JOBS_MALFORMED_TOTAL: &str = "rai_jobs_malformed_total";
+    pub const WORKER_CRASHES_TOTAL: &str = "rai_worker_crashes_total";
 }
 
 type Collector = Box<dyn Fn(&MetricsRegistry) + Send + Sync>;

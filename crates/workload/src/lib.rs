@@ -20,13 +20,18 @@
 //! * [`semester`] — the full five-week discrete-event simulation
 //!   driving client → broker → worker → store end to end, with the
 //!   paper's phase-scheduled fleet, producing the Fig. 4 timeline and
-//!   the §VII resource-usage report.
+//!   the §VII resource-usage report;
+//! * [`chaos`] — the fault-injected semester: store/db/broker faults,
+//!   worker crashes and stalls, poison jobs, and instance deaths,
+//!   audited for the no-lost-submissions guarantee.
 
+pub mod chaos;
 pub mod circadian;
 pub mod competition;
 pub mod semester;
 pub mod teams;
 
+pub use chaos::{run_chaos, ChaosConfig, ChaosResult};
 pub use circadian::CircadianModel;
 pub use competition::{run_competition, CompetitionConfig, CompetitionResult};
 pub use semester::{FleetPolicy, SemesterConfig, SemesterResult};

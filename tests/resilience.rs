@@ -50,8 +50,9 @@ fn file_server_outage_fails_job_without_wedging_the_queue() {
         .begin_submit(&ProjectDir::sample_cuda_project(), SubmitMode::Run)
         .unwrap();
 
-    // The file server 503s when the worker tries to download.
-    sys.store().inject_faults(1);
+    // The file server 503s for longer than the worker's retry budget
+    // (4 attempts with sim-time backoff), so the fetch fails for real.
+    sys.store().inject_faults(4);
     let outcomes = sys.drain();
     assert_eq!(outcomes.len(), 1);
     assert!(!outcomes[0].success, "job fails cleanly");
@@ -65,6 +66,24 @@ fn file_server_outage_fails_job_without_wedging_the_queue() {
     // The next submission works: no stuck state.
     let receipt = sys.submit(&creds, &ProjectDir::sample_cuda_project()).unwrap();
     assert!(receipt.success);
+}
+
+#[test]
+fn brief_file_server_blip_is_retried_transparently() {
+    let mut sys = system();
+    let creds = sys.register_team("lucky", &[]);
+    let client = sys.client_for(&creds);
+    let pending = client
+        .begin_submit(&ProjectDir::sample_cuda_project(), SubmitMode::Run)
+        .unwrap();
+
+    // A single 503 sits within the worker's retry budget: the job
+    // succeeds, paying only backoff in sim time.
+    sys.store().inject_faults(1);
+    let outcomes = sys.drain();
+    assert_eq!(outcomes.len(), 1);
+    assert!(outcomes[0].success, "one 503 is absorbed by retry");
+    assert!(pending.wait(Duration::from_millis(500)).unwrap().success);
 }
 
 #[test]
