@@ -58,6 +58,21 @@ pub fn unpack(bytes: &[u8]) -> Result<FileTree, ArchiveError> {
     read_container(&container)
 }
 
+/// Restore a file tree from either archive format, sniffing the magic:
+/// LZSS-compressed bundles (produced by [`pack`]) or raw containers
+/// (produced by [`write_container`], the form the dedup store chunks).
+///
+/// Readers use this instead of [`unpack`] so they keep working across
+/// the storage-model migration, where uploads switched from compressed
+/// bundles to chunked uncompressed containers (DESIGN.md §10).
+pub fn restore(bytes: &[u8]) -> Result<FileTree, ArchiveError> {
+    if bytes.starts_with(lzss::MAGIC) {
+        unpack(bytes)
+    } else {
+        read_container(bytes)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

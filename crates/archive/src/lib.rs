@@ -14,14 +14,21 @@
 //! * [`container`] — the tar-like entry container with per-entry and
 //!   whole-archive checksums.
 //! * [`bundle`] — the top-level [`pack`]/[`unpack`] API: container +
-//!   compression in one call, like `tar cjf` / `tar xjf`.
+//!   compression in one call, like `tar cjf` / `tar xjf` — plus
+//!   format-sniffing [`restore`], which accepts both compressed
+//!   bundles and raw containers.
+//! * [`chunk`] — the content-defined chunker (Gear rolling hash) and
+//!   [`ChunkManifest`] behind the store's dedup and delta uploads
+//!   (DESIGN.md §10).
 
 pub mod bundle;
+pub mod chunk;
 pub mod container;
 pub mod fnv;
 pub mod lzss;
 pub mod tree;
 
-pub use bundle::{pack, unpack, Bundle};
-pub use container::{ArchiveError, Entry, EntryKind};
+pub use bundle::{pack, restore, unpack, Bundle};
+pub use chunk::{chunk_bytes, Chunk, ChunkManifest, ChunkRef, ChunkerParams};
+pub use container::{read_container, write_container, ArchiveError, Entry, EntryKind};
 pub use tree::FileTree;

@@ -10,7 +10,7 @@
 //! archive benches compress megabytes of synthetic project trees per
 //! millisecond-scale iteration.
 
-const MAGIC: &[u8; 5] = b"RAIZ1";
+pub(crate) const MAGIC: &[u8; 5] = b"RAIZ1";
 const WINDOW: usize = 1 << 12; // 4 KiB sliding window (12-bit distance)
 const MIN_MATCH: usize = 3;
 const MAX_MATCH: usize = 18; // MIN_MATCH + 15 (4-bit length field)

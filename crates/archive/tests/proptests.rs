@@ -1,5 +1,6 @@
-//! Property tests for the archive substrate: compression and container
-//! round-trips over arbitrary data, and corruption detection.
+//! Property tests for the archive substrate: compression, container,
+//! and chunker round-trips over arbitrary data, and corruption
+//! detection.
 
 use proptest::prelude::*;
 use rai_archive::lzss;
@@ -71,5 +72,63 @@ proptest! {
     #[test]
     fn unpack_never_panics(garbage in prop::collection::vec(any::<u8>(), 0..2048)) {
         let _ = unpack(&garbage);
+    }
+}
+
+fn arb_chunker_params() -> impl Strategy<Value = rai_archive::ChunkerParams> {
+    // avg must be a power of two; min and max bracket it.
+    (2u32..10, 1usize..=64, 1usize..=8).prop_map(|(exp, min, mul)| {
+        let avg = 1usize << exp;
+        rai_archive::ChunkerParams {
+            min: min.min(avg),
+            avg,
+            max: avg * mul,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn chunker_round_trips(
+        data in prop::collection::vec(any::<u8>(), 0..8192),
+        params in arb_chunker_params(),
+    ) {
+        let (manifest, chunks) = rai_archive::chunk_bytes(&data, params);
+        let map: std::collections::BTreeMap<_, _> =
+            chunks.iter().map(|c| (c.digest, c.data.clone())).collect();
+        let back = rai_archive::chunk::assemble(&manifest, |d| map.get(&d).cloned());
+        prop_assert_eq!(back.as_deref(), Some(&data[..]));
+        prop_assert_eq!(manifest.total_len, data.len() as u64);
+        prop_assert_eq!(&manifest.etag, &rai_archive::fnv::etag(&data));
+    }
+
+    #[test]
+    fn chunker_is_deterministic(
+        data in prop::collection::vec(any::<u8>(), 0..8192),
+        params in arb_chunker_params(),
+    ) {
+        let (a, _) = rai_archive::chunk_bytes(&data, params);
+        let (b, _) = rai_archive::chunk_bytes(&data, params);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn chunker_respects_size_bounds(
+        data in prop::collection::vec(any::<u8>(), 0..8192),
+        params in arb_chunker_params(),
+    ) {
+        let (manifest, _) = rai_archive::chunk_bytes(&data, params);
+        let mut total = 0u64;
+        for (i, c) in manifest.chunks.iter().enumerate() {
+            prop_assert!((c.len as usize) <= params.max, "chunk {} over max", i);
+            if i + 1 < manifest.chunks.len() {
+                prop_assert!((c.len as usize) >= params.min, "non-final chunk {} under min", i);
+            }
+            prop_assert!(c.len > 0, "empty chunk {}", i);
+            total += c.len as u64;
+        }
+        prop_assert_eq!(total, manifest.total_len);
     }
 }

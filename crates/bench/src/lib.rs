@@ -16,6 +16,8 @@
 //! | `ablation_concurrency` | §V single-job timing-accuracy claim |
 //! | `ablation_elasticity`  | §IV/§VII elasticity claim |
 //! | `ablation_log_gc`      | ephemeral log-topic GC design choice |
+//! | `chaos_report`         | §IV crash-requeue guarantee, audited under chaos |
+//! | `store_report`         | storage dedup baseline (`BENCH_store.json`, DESIGN.md §10) |
 
 use rai_auth::{sign_request, Credentials};
 use rai_core::client::ProjectDir;

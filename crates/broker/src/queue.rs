@@ -3,7 +3,7 @@
 //!
 //! Delivery claims are stamped with [`SimTime`] from the broker's
 //! shared [`VirtualClock`], so message-timeout redelivery
-//! ([`ChannelState::reclaim_expired`]) is driven by the discrete-event
+//! (`ChannelState::reclaim_expired`) is driven by the discrete-event
 //! scheduler and fully deterministic — wall-clock `Instant`s never
 //! enter the picture. Blocking receive timeouts remain wall-clock
 //! (they bound how long a *thread* parks, not when a *message*

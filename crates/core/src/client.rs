@@ -8,9 +8,10 @@
 //! messages until `End`, ⑦ (submissions) let the server record
 //! execution time and team, ⑧ exit on `End`.
 
+use crate::delta::DeltaUploader;
 use crate::protocol::{routes, JobKind, JobRequest, LogFrame};
 use crate::spec::{BuildSpec, SpecError, DEFAULT_BUILD_YML, FINAL_SUBMISSION_YML};
-use rai_archive::{pack, FileTree};
+use rai_archive::{write_container, FileTree};
 use rai_auth::{sign_request, Credentials};
 use rai_broker::{Broker, PublishError, RecvError, Subscription};
 use rai_store::{ObjectStore, StoreError};
@@ -256,6 +257,8 @@ pub struct RaiClient {
     broker: Broker,
     store: ObjectStore,
     next_job_id: Arc<AtomicU64>,
+    /// Delta uploader with this client's per-project-dir digest cache.
+    delta: DeltaUploader,
 }
 
 impl RaiClient {
@@ -273,6 +276,7 @@ impl RaiClient {
             broker,
             store,
             next_job_id,
+            delta: DeltaUploader::new(),
         }
     }
 
@@ -325,9 +329,12 @@ impl RaiClient {
         // ② Credential sanity (full verification happens worker-side).
         debug_assert!(!self.creds.access_key.is_empty() && !self.creds.secret_key.is_empty());
 
-        // ③ Compress and upload the project directory.
+        // ③ Package and delta-upload the project directory: the tree
+        // is serialized to the archive container and shipped as a
+        // chunk manifest, so a resubmission uploads only the chunks
+        // the file server does not already hold (DESIGN.md §10).
         let job_id = self.next_job_id.fetch_add(1, Ordering::Relaxed);
-        let bundle = pack(&project.tree);
+        let container = write_container(&project.tree);
         let upload_key = format!("{}/{job_id:08x}.tar.bz2", self.team.replace(' ', "-"));
         // A transient file-server outage surfaces to the student as a
         // long upload, not a failed submission: retry a few times
@@ -335,10 +342,11 @@ impl RaiClient {
         let mut attempts = 0;
         loop {
             attempts += 1;
-            match self.store.put(
+            match self.delta.upload(
+                &self.store,
                 UPLOAD_BUCKET,
                 &upload_key,
-                bundle.bytes.clone(),
+                &container,
                 [
                     ("team".to_string(), self.team.clone()),
                     (

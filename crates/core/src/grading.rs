@@ -1,7 +1,7 @@
 //! Instructor utilities (paper §VI "Downloading and Running Students'
 //! Submissions", §VII "Project Grading").
 //!
-//! * bulk-download final submissions (DB → file server → unpack);
+//! * bulk-download final submissions (DB → file server → restore);
 //! * optionally delete unneeded files (make intermediates, datasets);
 //! * re-run each submission several times and keep the minimum time
 //!   ("to get a more accurate measurement of the student execution
@@ -12,7 +12,7 @@
 
 use crate::client::BUILD_BUCKET;
 use crate::spec::BuildSpec;
-use rai_archive::{unpack, FileTree};
+use rai_archive::{restore, FileTree};
 use rai_db::{doc, Database};
 use rai_sandbox::{Container, ImageRegistry, ResourceLimits};
 use rai_store::ObjectStore;
@@ -96,7 +96,7 @@ impl Grader {
             let Ok(obj) = self.store.get(BUILD_BUCKET, key) else {
                 continue;
             };
-            let Ok(tree) = unpack(&obj.data) else { continue };
+            let Ok(tree) = restore(&obj.data) else { continue };
             out.push(FinalSubmission {
                 team: team.to_string(),
                 recorded_secs: secs,

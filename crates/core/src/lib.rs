@@ -29,6 +29,9 @@
 //! * [`compare`] — the qualitative feature model behind Table I;
 //! * [`interactive`] — instructor-gated interactive sessions, the
 //!   paper's §VIII future work, implemented;
+//! * [`delta`] — the client side of the store's delta-upload protocol
+//!   ([`DeltaUploader`]), shared by [`client`] and [`worker`] so
+//!   resubmissions ship only new chunks (DESIGN.md §10);
 //! * [`system`] — [`system::RaiSystem`], a whole in-process deployment.
 
 pub mod audit;
@@ -36,6 +39,7 @@ pub mod cli;
 pub mod client;
 pub mod commands;
 pub mod compare;
+pub mod delta;
 pub mod delivery;
 pub mod grading;
 pub mod interactive;
@@ -47,6 +51,7 @@ pub mod system;
 pub mod worker;
 
 pub use client::{ProjectDir, RaiClient, SubmitError, SubmitMode, SubmitReceipt};
+pub use delta::{DeltaReceipt, DeltaUploader};
 pub use ranking::{RankEntry, RankingBoard};
 pub use spec::{BuildSpec, SpecError};
 pub use system::{RaiSystem, SystemConfig};

@@ -187,6 +187,14 @@ impl RaiSystem {
                 reg.counter(names::STORE_EXPIRED_TOTAL, &[]).store(u.expired);
                 reg.gauge(names::STORE_BYTES_STORED, &[]).set(u.bytes_stored as f64);
                 reg.gauge(names::STORE_OBJECTS, &[]).set(u.objects as f64);
+                // Dedup split: logical = what a plain store would hold,
+                // physical = distinct chunk bytes actually resident.
+                reg.gauge(names::STORE_BYTES_LOGICAL, &[]).set(u.bytes_stored as f64);
+                reg.gauge(names::STORE_BYTES_PHYSICAL, &[]).set(u.bytes_physical as f64);
+                reg.gauge(names::STORE_CHUNKS, &[]).set(u.chunks as f64);
+                reg.counter(names::STORE_CHUNKS_DEDUP_TOTAL, &[]).store(u.chunks_dedup_total);
+                reg.counter(names::STORE_BYTES_WIRE_TOTAL, &[]).store(u.bytes_wire);
+                reg.counter(names::STORE_DELTA_PUTS_TOTAL, &[]).store(u.delta_puts);
             });
             let db2 = db.clone();
             telemetry.register_collector(move |reg| {

@@ -26,9 +26,10 @@
 //! upsert keyed on `job_id`), so redelivered work records exactly once.
 
 use crate::client::BUILD_BUCKET;
+use crate::delta::DeltaUploader;
 use crate::protocol::{routes, JobKind, JobRequest, LogFrame};
 use crate::spec::BuildSpec;
-use rai_archive::{pack, unpack};
+use rai_archive::{restore, write_container};
 use rai_auth::CredentialRegistry;
 use rai_broker::{Broker, Subscription};
 use rai_db::{doc, Database, DbError, Value};
@@ -137,6 +138,10 @@ pub struct Worker {
     rng: StdRng,
     telemetry: Option<Telemetry>,
     injector: Option<FaultInjector>,
+    /// Delta uploader for `/build` outputs; its digest cache persists
+    /// across jobs, so near-identical build trees (the overwhelmingly
+    /// common case for resubmissions) upload almost nothing.
+    delta: DeltaUploader,
 }
 
 impl Worker {
@@ -164,6 +169,7 @@ impl Worker {
             rng,
             telemetry: None,
             injector: None,
+            delta: DeltaUploader::new(),
         }
     }
 
@@ -519,7 +525,7 @@ impl Worker {
         let project = match fetched
             .result
             .map_err(|e| e.to_string())
-            .and_then(|obj| unpack(&obj.data).map_err(|e| e.to_string()))
+            .and_then(|obj| restore(&obj.data).map_err(|e| e.to_string()))
         {
             Ok(tree) => tree,
             Err(e) => {
@@ -583,15 +589,16 @@ impl Worker {
         // function of (team, job_id): a redelivered attempt overwrites
         // its own previous upload instead of duplicating it.
         self.crash_check(request, attempt, CrashPoint::Upload, service_time)?;
-        let build_bundle = pack(&report.build_dir);
+        let build_container = write_container(&report.build_dir);
         let build_key = format!("{}/{:08x}-build.tar.bz2", request.team.replace(' ', "-"), request.job_id);
         let upload = self.config.retry.run(
             self.op_seed(request.job_id, attempt, 2),
             |_| {
-                self.store.put(
+                self.delta.upload(
+                    &self.store,
                     BUILD_BUCKET,
                     &build_key,
-                    build_bundle.bytes.clone(),
+                    &build_container,
                     [
                         ("team".to_string(), request.team.clone()),
                         (
@@ -619,7 +626,14 @@ impl Worker {
             );
         }
         let before_upload = service_time;
-        service_time += SimDuration::from_millis(build_bundle.uncompressed_len / (100 * 1024) + 1);
+        // Transfer time is charged on the bytes that actually crossed
+        // the wire: a delta upload of a near-identical build tree is a
+        // few manifest-sized writes, not a whole re-archive.
+        let wire_bytes = match &upload.result {
+            Ok(receipt) => receipt.wire_bytes(),
+            Err(_) => build_container.len() as u64,
+        };
+        service_time += SimDuration::from_millis(wire_bytes / (100 * 1024) + 1);
         self.note_stage(
             request,
             stage::UPLOADED,
@@ -835,7 +849,7 @@ mod tests {
         // The /build archive includes the submitted source snapshot.
         let build_url = receipt.build_url.unwrap();
         let obj = rig.store.get_presigned(&build_url).unwrap();
-        let tree = unpack(&obj.data).unwrap();
+        let tree = restore(&obj.data).unwrap();
         assert!(tree.contains("submission_code/main.cu"));
     }
 

@@ -1,4 +1,4 @@
-//! Deterministic fault injection for the RAI pipeline.
+//! # rai-faults — deterministic fault injection for the RAI pipeline
 //!
 //! A [`FaultPlan`] describes *what* can go wrong — per-operation fault
 //! probabilities, a poison-job rule, and a schedule of instance deaths

@@ -1,0 +1,137 @@
+//! Refcounted content-addressed chunk arena — the physical layer of
+//! the store.
+//!
+//! Objects (see [`crate::store::ObjectStore`]) are manifests of chunk
+//! digests; every distinct chunk lives here exactly once with a
+//! reference count. Overwrites, deletes and lifecycle expiry release
+//! references, and a chunk's bytes are freed only when the last
+//! manifest referencing it is gone — which is what makes lifecycle GC
+//! safe in the presence of cross-object sharing (DESIGN.md §10).
+
+use bytes::Bytes;
+use std::collections::BTreeMap;
+
+struct ChunkEntry {
+    data: Bytes,
+    refs: u64,
+}
+
+/// The chunk arena: digest → (bytes, refcount), plus physical-usage
+/// accounting.
+#[derive(Default)]
+pub(crate) struct ChunkStore {
+    chunks: BTreeMap<u64, ChunkEntry>,
+    physical_bytes: u64,
+    dedup_hits: u64,
+}
+
+impl ChunkStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether a chunk with this digest is resident.
+    pub fn contains(&self, digest: u64) -> bool {
+        self.chunks.contains_key(&digest)
+    }
+
+    /// The chunk's bytes, if resident.
+    pub fn data(&self, digest: u64) -> Option<Bytes> {
+        self.chunks.get(&digest).map(|e| e.data.clone())
+    }
+
+    /// Take one reference on `digest`. If the chunk is already
+    /// resident this is a dedup hit and `data` is ignored; otherwise
+    /// `data` must carry the bytes, or `Err(())` is returned and no
+    /// reference is taken. Returns `Ok(true)` on a dedup hit.
+    pub fn retain(&mut self, digest: u64, data: Option<&Bytes>) -> Result<bool, ()> {
+        if let Some(entry) = self.chunks.get_mut(&digest) {
+            entry.refs += 1;
+            self.dedup_hits += 1;
+            return Ok(true);
+        }
+        let Some(data) = data else { return Err(()) };
+        self.physical_bytes += data.len() as u64;
+        self.chunks.insert(
+            digest,
+            ChunkEntry {
+                data: data.clone(),
+                refs: 1,
+            },
+        );
+        Ok(false)
+    }
+
+    /// Drop one reference; frees the chunk bytes when the count hits
+    /// zero. Releasing an unknown digest is a logic error upstream and
+    /// is ignored in release builds.
+    pub fn release(&mut self, digest: u64) {
+        let Some(entry) = self.chunks.get_mut(&digest) else {
+            debug_assert!(false, "release of untracked chunk {digest:016x}");
+            return;
+        };
+        entry.refs -= 1;
+        if entry.refs == 0 {
+            self.physical_bytes -= entry.data.len() as u64;
+            self.chunks.remove(&digest);
+        }
+    }
+
+    /// Number of distinct resident chunks.
+    pub fn count(&self) -> u64 {
+        self.chunks.len() as u64
+    }
+
+    /// Bytes actually held (each distinct chunk counted once).
+    pub fn physical_bytes(&self) -> u64 {
+        self.physical_bytes
+    }
+
+    /// Cumulative count of retains that found the chunk already
+    /// resident.
+    pub fn dedup_hits(&self) -> u64 {
+        self.dedup_hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(s)
+    }
+
+    #[test]
+    fn retain_release_lifecycle() {
+        let mut cs = ChunkStore::new();
+        assert_eq!(cs.retain(1, Some(&b(b"aaaa"))), Ok(false));
+        assert_eq!(cs.retain(1, None), Ok(true), "second ref is a dedup hit");
+        assert_eq!(cs.count(), 1);
+        assert_eq!(cs.physical_bytes(), 4);
+        assert_eq!(cs.dedup_hits(), 1);
+        cs.release(1);
+        assert!(cs.contains(1), "one ref left");
+        cs.release(1);
+        assert!(!cs.contains(1));
+        assert_eq!(cs.physical_bytes(), 0);
+    }
+
+    #[test]
+    fn retain_without_data_fails_for_unknown_chunk() {
+        let mut cs = ChunkStore::new();
+        assert_eq!(cs.retain(42, None), Err(()));
+        assert!(!cs.contains(42));
+    }
+
+    #[test]
+    fn distinct_chunks_accumulate_physical_bytes() {
+        let mut cs = ChunkStore::new();
+        cs.retain(1, Some(&b(b"xx"))).unwrap();
+        cs.retain(2, Some(&b(b"yyy"))).unwrap();
+        assert_eq!(cs.physical_bytes(), 5);
+        assert_eq!(cs.count(), 2);
+        assert_eq!(cs.data(2).unwrap().as_ref(), b"yyy");
+        assert_eq!(cs.data(3), None);
+    }
+}

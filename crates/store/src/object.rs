@@ -21,7 +21,7 @@ pub struct ObjectMeta {
     pub user: BTreeMap<String, String>,
 }
 
-/// An object plus its payload.
+/// An object plus its payload, reassembled from its chunks on read.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct StoredObject {
     /// Metadata.
@@ -30,27 +30,24 @@ pub struct StoredObject {
     pub data: Bytes,
 }
 
-pub(crate) fn etag_of(data: &[u8]) -> String {
-    // Same construction as rai_archive::fnv::etag, duplicated to keep the
-    // store substrate dependency-free of the archive crate.
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = OFFSET;
-    for &b in data {
-        h ^= b as u64;
-        h = h.wrapping_mul(PRIME);
-    }
-    format!("{h:016x}")
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rai_sim::SimTime;
 
     #[test]
-    fn etag_is_fnv1a_hex() {
-        assert_eq!(etag_of(b""), format!("{:016x}", 0xcbf2_9ce4_8422_2325u64));
-        assert_ne!(etag_of(b"a"), etag_of(b"b"));
-        assert_eq!(etag_of(b"abc").len(), 16);
+    fn meta_etag_matches_archive_etag() {
+        // The store's etags come straight from the chunker's manifest,
+        // which uses rai_archive::fnv — one hash construction end to end.
+        let meta = ObjectMeta {
+            key: "k".into(),
+            size: 3,
+            etag: rai_archive::fnv::etag(b"abc"),
+            uploaded_at: SimTime::ZERO,
+            last_used: SimTime::ZERO,
+            user: BTreeMap::new(),
+        };
+        assert_eq!(meta.etag.len(), 16);
+        assert_eq!(meta.etag, rai_archive::fnv::etag(b"abc"));
     }
 }

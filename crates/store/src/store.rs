@@ -1,11 +1,22 @@
-//! The object store: buckets, CRUD, lifecycle sweeps and usage
-//! accounting. Thread-safe and cheaply cloneable (clones share state),
-//! like every live RAI data-plane component.
+//! The object store: buckets, CRUD, delta uploads, lifecycle sweeps
+//! and usage accounting. Thread-safe and cheaply cloneable (clones
+//! share state), like every live RAI data-plane component.
+//!
+//! Since the storage-model change (DESIGN.md §10) the store is
+//! content-addressed: `put`/`put_delta` split payloads into
+//! content-defined chunks ([`rai_archive::chunk`]) and objects are
+//! manifests referencing a shared refcounted chunk arena
+//! ([`crate::dedup`]). Identical content across objects, buckets and
+//! re-uploads is stored once; `has_chunks` lets clients discover
+//! which chunks the store already holds and upload only the rest.
 
+use crate::dedup::ChunkStore;
 use crate::lifecycle::LifecycleRule;
-use crate::object::{etag_of, ObjectMeta, StoredObject};
+use crate::object::{ObjectMeta, StoredObject};
 use bytes::Bytes;
 use parking_lot::RwLock;
+use rai_archive::chunk::{assemble, chunk_bytes, Chunk, ChunkManifest, ChunkerParams};
+use rai_archive::fnv;
 use rai_sim::VirtualClock;
 #[cfg(test)]
 use rai_sim::SimTime;
@@ -26,6 +37,22 @@ pub enum StoreError {
     /// Transient service failure (injected by tests/chaos runs; S3
     /// returns 503s under load and RAI must degrade gracefully).
     Unavailable,
+    /// A delta upload referenced chunks that neither the request
+    /// carried nor the store holds — the uploader's digest cache was
+    /// stale (e.g. the chunks were garbage-collected since it was
+    /// filled). The fix is to re-query [`ObjectStore::has_chunks`]
+    /// and resend.
+    MissingChunks {
+        /// Digests that could not be resolved.
+        missing: Vec<u64>,
+    },
+    /// A delta upload was internally inconsistent: a supplied chunk's
+    /// bytes did not hash to its claimed digest, or lengths disagreed
+    /// with the manifest.
+    DeltaMismatch {
+        /// What disagreed.
+        reason: &'static str,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -36,22 +63,42 @@ impl std::fmt::Display for StoreError {
             StoreError::BucketExists(b) => write!(f, "bucket exists: {b}"),
             StoreError::Unavailable => write!(f, "file server temporarily unavailable"),
             StoreError::BadPresignedUrl => write!(f, "presigned URL is expired or invalid"),
+            StoreError::MissingChunks { missing } => {
+                write!(f, "delta upload references {} unknown chunk(s)", missing.len())
+            }
+            StoreError::DeltaMismatch { reason } => write!(f, "delta upload mismatch: {reason}"),
         }
     }
 }
 
 impl std::error::Error for StoreError {}
 
+/// One stored object: metadata plus the manifest of chunks its
+/// payload reassembles from.
+struct ObjRecord {
+    meta: ObjectMeta,
+    manifest: ChunkManifest,
+}
+
 struct BucketState {
     rule: LifecycleRule,
-    objects: BTreeMap<String, StoredObject>,
+    objects: BTreeMap<String, ObjRecord>,
+}
+
+/// Buckets and the chunk arena live under one lock so that
+/// put/delete/sweep mutate manifests and refcounts atomically.
+struct StoreState {
+    buckets: BTreeMap<String, BucketState>,
+    chunks: ChunkStore,
 }
 
 #[derive(Default)]
 struct Counters {
     bytes_uploaded: u64,
     bytes_downloaded: u64,
+    bytes_wire: u64,
     puts: u64,
+    delta_puts: u64,
     gets: u64,
     deletes: u64,
     expired: u64,
@@ -61,7 +108,9 @@ struct StoreInner {
     clock: VirtualClock,
     /// Secret for presigned-URL signatures (per store instance).
     presign_secret: u64,
-    buckets: RwLock<BTreeMap<String, BucketState>>,
+    /// Chunker parameters used by whole-payload `put`s.
+    chunker: ChunkerParams,
+    state: RwLock<StoreState>,
     counters: RwLock<Counters>,
     /// Remaining operations that should fail (fault injection).
     faults: std::sync::atomic::AtomicU64,
@@ -70,19 +119,33 @@ struct StoreInner {
 }
 
 /// Cumulative usage snapshot — backs the paper's §VII resource-usage
-/// numbers ("the file server held 100GB of data for 176 students").
+/// numbers ("the file server held 100GB of data for 176 students"),
+/// extended with the dedup split between logical and physical bytes.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StoreUsage {
-    /// Bytes currently resident.
+    /// Logical bytes currently resident (sum of object sizes; what a
+    /// non-deduplicating store would hold).
     pub bytes_stored: u64,
+    /// Physical bytes currently resident (each distinct chunk once).
+    pub bytes_physical: u64,
+    /// Distinct chunks currently resident.
+    pub chunks: u64,
+    /// Cumulative chunk references resolved against already-resident
+    /// chunks (uploads avoided by dedup).
+    pub chunks_dedup_total: u64,
     /// Objects currently resident.
     pub objects: u64,
-    /// Total bytes ever uploaded.
+    /// Total logical bytes ever uploaded.
     pub bytes_uploaded: u64,
+    /// Total bytes that actually crossed the wire on uploads (full
+    /// payloads for plain puts; manifest + missing chunks for deltas).
+    pub bytes_wire: u64,
     /// Total bytes ever served.
     pub bytes_downloaded: u64,
-    /// Put operations.
+    /// Put operations (plain and delta).
     pub puts: u64,
+    /// Delta-put operations (subset of `puts`).
+    pub delta_puts: u64,
     /// Get operations.
     pub gets: u64,
     /// Explicit deletes.
@@ -113,8 +176,12 @@ impl ObjectStore {
         ObjectStore {
             inner: Arc::new(StoreInner {
                 presign_secret: next_presign_secret(),
+                chunker: ChunkerParams::DEFAULT,
                 clock,
-                buckets: RwLock::new(BTreeMap::new()),
+                state: RwLock::new(StoreState {
+                    buckets: BTreeMap::new(),
+                    chunks: ChunkStore::new(),
+                }),
                 counters: RwLock::new(Counters::default()),
                 faults: std::sync::atomic::AtomicU64::new(0),
                 injector: RwLock::new(None),
@@ -124,11 +191,11 @@ impl ObjectStore {
 
     /// Create a bucket with a lifecycle rule.
     pub fn create_bucket(&self, name: &str, rule: LifecycleRule) -> Result<(), StoreError> {
-        let mut buckets = self.inner.buckets.write();
-        if buckets.contains_key(name) {
+        let mut state = self.inner.state.write();
+        if state.buckets.contains_key(name) {
             return Err(StoreError::BucketExists(name.to_string()));
         }
-        buckets.insert(
+        state.buckets.insert(
             name.to_string(),
             BucketState {
                 rule,
@@ -140,7 +207,7 @@ impl ObjectStore {
 
     /// Whether a bucket exists.
     pub fn has_bucket(&self, name: &str) -> bool {
-        self.inner.buckets.read().contains_key(name)
+        self.inner.state.read().buckets.contains_key(name)
     }
 
     /// Make the next `n` data operations (put/get) fail with
@@ -178,7 +245,12 @@ impl ObjectStore {
         }
     }
 
-    /// Upload (or overwrite) an object; returns its etag.
+    /// Upload (or overwrite) an object from a whole payload; returns
+    /// its etag. The payload is chunked server-side, so even plain
+    /// puts dedup against resident content — but the full payload
+    /// still crosses the wire. Delta-aware clients use
+    /// [`ObjectStore::has_chunks`] + [`ObjectStore::put_delta`] to
+    /// avoid that.
     pub fn put(
         &self,
         bucket: &str,
@@ -190,54 +262,183 @@ impl ObjectStore {
             return Err(StoreError::Unavailable);
         }
         let data = data.into();
-        let now = self.inner.clock.now();
-        let etag = etag_of(&data);
-        let mut buckets = self.inner.buckets.write();
-        let b = buckets
-            .get_mut(bucket)
-            .ok_or_else(|| StoreError::NoSuchBucket(bucket.to_string()))?;
-        let size = data.len() as u64;
-        let prev_size = b.objects.get(key).map(|o| o.meta.size).unwrap_or(0);
-        let _ = prev_size;
-        b.objects.insert(
-            key.to_string(),
-            StoredObject {
-                meta: ObjectMeta {
-                    key: key.to_string(),
-                    size,
-                    etag: etag.clone(),
-                    uploaded_at: now,
-                    last_used: now,
-                    user: user_meta.into_iter().collect(),
-                },
-                data,
-            },
-        );
-        drop(buckets);
+        let (manifest, chunks) = chunk_bytes(&data, self.inner.chunker);
+        let size = manifest.total_len;
+        let etag = manifest.etag.clone();
+        let user: BTreeMap<String, String> = user_meta.into_iter().collect();
+
+        let mut state = self.inner.state.write();
+        if !state.buckets.contains_key(bucket) {
+            return Err(StoreError::NoSuchBucket(bucket.to_string()));
+        }
+        let by_digest: BTreeMap<u64, &Chunk> = chunks.iter().map(|c| (c.digest, c)).collect();
+        for r in &manifest.chunks {
+            let data = by_digest.get(&r.digest).map(|c| &c.data);
+            state
+                .chunks
+                .retain(r.digest, data)
+                .expect("put chunks carry their own bytes");
+        }
+        self.install_record(&mut state, bucket, key, manifest, user);
+        drop(state);
+
         let mut c = self.inner.counters.write();
         c.puts += 1;
         c.bytes_uploaded += size;
+        c.bytes_wire += size;
         Ok(etag)
     }
 
-    /// Download an object. Refreshes its `last_used` stamp (which is what
-    /// makes the paper's "one month after the last use" policy work).
+    /// Which of `digests` are already resident? Returns one flag per
+    /// input digest, in order. This is the discovery step of the
+    /// delta-upload protocol; it is a metadata round trip and subject
+    /// to the same transient faults as data reads.
+    pub fn has_chunks(&self, digests: &[u64]) -> Result<Vec<bool>, StoreError> {
+        if self.take_fault() || self.injected_fault(rai_faults::FaultKind::StoreGet) {
+            return Err(StoreError::Unavailable);
+        }
+        let state = self.inner.state.read();
+        Ok(digests.iter().map(|&d| state.chunks.contains(d)).collect())
+    }
+
+    /// Upload (or overwrite) an object as a manifest plus only the
+    /// chunks the store does not already hold; returns the etag.
+    ///
+    /// `provided` may carry any subset of the manifest's chunks; every
+    /// referenced chunk must either be provided or already resident,
+    /// otherwise the upload fails atomically with
+    /// [`StoreError::MissingChunks`] and no state changes. Supplied
+    /// bytes are verified against their claimed digest and the
+    /// manifest's lengths.
+    pub fn put_delta(
+        &self,
+        bucket: &str,
+        key: &str,
+        manifest: &ChunkManifest,
+        provided: &[Chunk],
+        user_meta: impl IntoIterator<Item = (String, String)>,
+    ) -> Result<String, StoreError> {
+        if self.take_fault() || self.injected_fault(rai_faults::FaultKind::StorePut) {
+            return Err(StoreError::Unavailable);
+        }
+        let declared: u64 = manifest.chunks.iter().map(|r| r.len as u64).sum();
+        if declared != manifest.total_len {
+            return Err(StoreError::DeltaMismatch {
+                reason: "manifest total_len disagrees with chunk lengths",
+            });
+        }
+        let mut by_digest: BTreeMap<u64, &Bytes> = BTreeMap::new();
+        for c in provided {
+            if fnv::hash(&c.data) != c.digest {
+                return Err(StoreError::DeltaMismatch {
+                    reason: "chunk bytes do not match claimed digest",
+                });
+            }
+            by_digest.insert(c.digest, &c.data);
+        }
+        for r in &manifest.chunks {
+            if let Some(data) = by_digest.get(&r.digest) {
+                if data.len() as u32 != r.len {
+                    return Err(StoreError::DeltaMismatch {
+                        reason: "chunk length disagrees with manifest",
+                    });
+                }
+            }
+        }
+        let user: BTreeMap<String, String> = user_meta.into_iter().collect();
+
+        let mut state = self.inner.state.write();
+        if !state.buckets.contains_key(bucket) {
+            return Err(StoreError::NoSuchBucket(bucket.to_string()));
+        }
+        // Atomicity: resolve every reference before mutating anything.
+        let missing: Vec<u64> = manifest
+            .chunks
+            .iter()
+            .map(|r| r.digest)
+            .filter(|d| !by_digest.contains_key(d) && !state.chunks.contains(*d))
+            .collect();
+        if !missing.is_empty() {
+            return Err(StoreError::MissingChunks { missing });
+        }
+        for r in &manifest.chunks {
+            state
+                .chunks
+                .retain(r.digest, by_digest.get(&r.digest).copied())
+                .expect("availability verified above");
+        }
+        let etag = manifest.etag.clone();
+        let wire: u64 = provided.iter().map(|c| c.data.len() as u64).sum::<u64>()
+            + manifest.encoded_len();
+        self.install_record(&mut state, bucket, key, manifest.clone(), user);
+        drop(state);
+
+        let mut c = self.inner.counters.write();
+        c.puts += 1;
+        c.delta_puts += 1;
+        c.bytes_uploaded += manifest.total_len;
+        c.bytes_wire += wire;
+        Ok(etag)
+    }
+
+    /// Insert the new record (references already taken), releasing the
+    /// previous object under this key if any. New references are taken
+    /// before old ones are released so an overwrite never frees chunks
+    /// the new manifest shares with the old.
+    fn install_record(
+        &self,
+        state: &mut StoreState,
+        bucket: &str,
+        key: &str,
+        manifest: ChunkManifest,
+        user: BTreeMap<String, String>,
+    ) {
+        let now = self.inner.clock.now();
+        let record = ObjRecord {
+            meta: ObjectMeta {
+                key: key.to_string(),
+                size: manifest.total_len,
+                etag: manifest.etag.clone(),
+                uploaded_at: now,
+                last_used: now,
+                user,
+            },
+            manifest,
+        };
+        let b = state.buckets.get_mut(bucket).expect("bucket checked by caller");
+        let prev = b.objects.insert(key.to_string(), record);
+        if let Some(prev) = prev {
+            for r in &prev.manifest.chunks {
+                state.chunks.release(r.digest);
+            }
+        }
+    }
+
+    /// Download an object, reassembled from its chunks. Refreshes its
+    /// `last_used` stamp (which is what makes the paper's "one month
+    /// after the last use" policy work).
     pub fn get(&self, bucket: &str, key: &str) -> Result<StoredObject, StoreError> {
         if self.take_fault() || self.injected_fault(rai_faults::FaultKind::StoreGet) {
             return Err(StoreError::Unavailable);
         }
         let now = self.inner.clock.now();
-        let mut buckets = self.inner.buckets.write();
+        let mut state = self.inner.state.write();
+        let StoreState { buckets, chunks } = &mut *state;
         let b = buckets
             .get_mut(bucket)
             .ok_or_else(|| StoreError::NoSuchBucket(bucket.to_string()))?;
-        let obj = b.objects.get_mut(key).ok_or_else(|| StoreError::NoSuchKey {
+        let rec = b.objects.get_mut(key).ok_or_else(|| StoreError::NoSuchKey {
             bucket: bucket.to_string(),
             key: key.to_string(),
         })?;
-        obj.meta.last_used = now;
-        let out = obj.clone();
-        drop(buckets);
+        rec.meta.last_used = now;
+        let data = assemble(&rec.manifest, |d| chunks.data(d))
+            .expect("resident manifests always resolve");
+        let out = StoredObject {
+            meta: rec.meta.clone(),
+            data: Bytes::from(data),
+        };
+        drop(state);
         let mut c = self.inner.counters.write();
         c.gets += 1;
         c.bytes_downloaded += out.meta.size;
@@ -246,8 +447,9 @@ impl ObjectStore {
 
     /// Metadata only, without touching `last_used`.
     pub fn head(&self, bucket: &str, key: &str) -> Result<ObjectMeta, StoreError> {
-        let buckets = self.inner.buckets.read();
-        let b = buckets
+        let state = self.inner.state.read();
+        let b = state
+            .buckets
             .get(bucket)
             .ok_or_else(|| StoreError::NoSuchBucket(bucket.to_string()))?;
         b.objects
@@ -259,17 +461,21 @@ impl ObjectStore {
             })
     }
 
-    /// Delete an object.
+    /// Delete an object, releasing its chunk references.
     pub fn delete(&self, bucket: &str, key: &str) -> Result<(), StoreError> {
-        let mut buckets = self.inner.buckets.write();
+        let mut state = self.inner.state.write();
+        let StoreState { buckets, chunks } = &mut *state;
         let b = buckets
             .get_mut(bucket)
             .ok_or_else(|| StoreError::NoSuchBucket(bucket.to_string()))?;
-        b.objects.remove(key).ok_or_else(|| StoreError::NoSuchKey {
+        let rec = b.objects.remove(key).ok_or_else(|| StoreError::NoSuchKey {
             bucket: bucket.to_string(),
             key: key.to_string(),
         })?;
-        drop(buckets);
+        for r in &rec.manifest.chunks {
+            chunks.release(r.digest);
+        }
+        drop(state);
         self.inner.counters.write().deletes += 1;
         Ok(())
     }
@@ -277,8 +483,9 @@ impl ObjectStore {
     /// List object metadata under a key prefix, in key order. The
     /// instructor's "download all final submissions" tool drives this.
     pub fn list(&self, bucket: &str, prefix: &str) -> Result<Vec<ObjectMeta>, StoreError> {
-        let buckets = self.inner.buckets.read();
-        let b = buckets
+        let state = self.inner.state.read();
+        let b = state
+            .buckets
             .get(bucket)
             .ok_or_else(|| StoreError::NoSuchBucket(bucket.to_string()))?;
         Ok(b.objects
@@ -345,10 +552,15 @@ impl ObjectStore {
 
     /// Run a lifecycle sweep at the clock's current time; returns how
     /// many objects were expired. A real deployment runs this daily.
+    ///
+    /// Expiry is manifest-aware: it releases the doomed object's chunk
+    /// references rather than deleting bytes, so chunks shared with
+    /// live objects survive and only unreferenced ones are freed.
     pub fn sweep_lifecycle(&self) -> u64 {
         let now = self.inner.clock.now();
         let mut expired = 0u64;
-        let mut buckets = self.inner.buckets.write();
+        let mut state = self.inner.state.write();
+        let StoreState { buckets, chunks } = &mut *state;
         for b in buckets.values_mut() {
             let rule = b.rule;
             let doomed: Vec<String> = b
@@ -358,34 +570,45 @@ impl ObjectStore {
                 .map(|(k, _)| k.clone())
                 .collect();
             for k in doomed {
-                b.objects.remove(&k);
+                let rec = b.objects.remove(&k).expect("doomed key just listed");
+                for r in &rec.manifest.chunks {
+                    chunks.release(r.digest);
+                }
                 expired += 1;
             }
         }
-        drop(buckets);
+        drop(state);
         self.inner.counters.write().expired += expired;
         expired
     }
 
     /// Usage snapshot.
     pub fn usage(&self) -> StoreUsage {
-        let buckets = self.inner.buckets.read();
+        let state = self.inner.state.read();
         let mut bytes_stored = 0;
         let mut objects = 0;
-        for b in buckets.values() {
+        for b in state.buckets.values() {
             for o in b.objects.values() {
                 bytes_stored += o.meta.size;
                 objects += 1;
             }
         }
-        drop(buckets);
+        let bytes_physical = state.chunks.physical_bytes();
+        let chunks = state.chunks.count();
+        let chunks_dedup_total = state.chunks.dedup_hits();
+        drop(state);
         let c = self.inner.counters.read();
         StoreUsage {
             bytes_stored,
+            bytes_physical,
+            chunks,
+            chunks_dedup_total,
             objects,
             bytes_uploaded: c.bytes_uploaded,
+            bytes_wire: c.bytes_wire,
             bytes_downloaded: c.bytes_downloaded,
             puts: c.puts,
+            delta_puts: c.delta_puts,
             gets: c.gets,
             deletes: c.deletes,
             expired: c.expired,
@@ -411,6 +634,20 @@ mod tests {
             .unwrap();
         s.create_bucket("keep", LifecycleRule::Keep).unwrap();
         s
+    }
+
+    /// Non-repeating payload so every chunk of it gets a distinct
+    /// digest (uniform payloads dedup against themselves).
+    fn varied(len: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed;
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) as u8
+            })
+            .collect()
     }
 
     #[test]
@@ -453,6 +690,7 @@ mod tests {
         assert_eq!(s.usage().objects, 1);
         assert_eq!(s.usage().bytes_uploaded, 5, "uploads accumulate");
         assert_eq!(s.usage().bytes_stored, 3, "stored reflects current");
+        assert_eq!(s.usage().bytes_physical, 3, "old chunks released");
     }
 
     #[test]
@@ -537,6 +775,136 @@ mod tests {
         assert_eq!(u.bytes_downloaded, 100);
         assert_eq!(u.bytes_stored, 100);
         assert_eq!(u.objects, 1);
+    }
+
+    #[test]
+    fn identical_payloads_share_chunks() {
+        let s = store();
+        let payload = varied(4000, 7);
+        s.put("keep", "a", payload.clone(), []).unwrap();
+        s.put("keep", "b", payload.clone(), []).unwrap();
+        s.put("uploads", "c", payload.clone(), []).unwrap();
+        let u = s.usage();
+        assert_eq!(u.bytes_stored, 12_000, "logical triples");
+        assert_eq!(u.bytes_physical, 4_000, "physical stays one copy");
+        assert!(u.chunks_dedup_total > 0);
+        // Every copy reads back intact.
+        assert_eq!(s.get("keep", "b").unwrap().data.as_ref(), &payload[..]);
+        assert_eq!(s.get("uploads", "c").unwrap().data.as_ref(), &payload[..]);
+    }
+
+    #[test]
+    fn delete_frees_chunks_only_at_last_reference() {
+        let s = store();
+        let payload = varied(2000, 13);
+        s.put("keep", "a", payload.clone(), []).unwrap();
+        s.put("keep", "b", payload.clone(), []).unwrap();
+        s.delete("keep", "a").unwrap();
+        let u = s.usage();
+        assert_eq!(u.bytes_physical, 2000, "b still references the chunks");
+        assert_eq!(s.get("keep", "b").unwrap().data.as_ref(), &payload[..]);
+        s.delete("keep", "b").unwrap();
+        let u = s.usage();
+        assert_eq!(u.bytes_physical, 0);
+        assert_eq!(u.chunks, 0);
+    }
+
+    #[test]
+    fn expiry_spares_chunks_shared_with_live_objects() {
+        let s = store();
+        let payload = varied(3000, 17);
+        // One copy in a bucket that expires, one in a bucket that keeps.
+        s.put("builds", "doomed", payload.clone(), []).unwrap();
+        s.put("keep", "survivor", payload.clone(), []).unwrap();
+        s.clock().advance(SimDuration::from_days(91));
+        assert_eq!(s.sweep_lifecycle(), 1);
+        let u = s.usage();
+        assert_eq!(u.objects, 1);
+        assert_eq!(u.bytes_physical, 3000, "shared chunks must survive expiry");
+        assert_eq!(
+            s.get("keep", "survivor").unwrap().data.as_ref(),
+            &payload[..],
+            "survivor still reassembles after the sweep"
+        );
+        // Once the survivor goes too, the chunks are actually freed.
+        s.delete("keep", "survivor").unwrap();
+        assert_eq!(s.usage().bytes_physical, 0);
+    }
+
+    #[test]
+    fn has_chunks_reports_residency() {
+        let s = store();
+        let payload = vec![5u8; 1000];
+        let (manifest, _) = chunk_bytes(&payload, ChunkerParams::DEFAULT);
+        let flags = s.has_chunks(&manifest.digests()).unwrap();
+        assert!(flags.iter().all(|&f| !f), "nothing resident yet");
+        s.put("keep", "a", payload, []).unwrap();
+        let flags = s.has_chunks(&manifest.digests()).unwrap();
+        assert!(flags.iter().all(|&f| f), "all resident after put");
+    }
+
+    #[test]
+    fn put_delta_round_trips_and_saves_wire_bytes() {
+        let s = store();
+        let payload = varied(5000, 1);
+        let (manifest, chunks) = chunk_bytes(&payload, ChunkerParams::DEFAULT);
+        // First upload must carry everything.
+        let etag = s.put_delta("keep", "a", &manifest, &chunks, []).unwrap();
+        assert_eq!(s.get("keep", "a").unwrap().data.as_ref(), &payload[..]);
+        assert_eq!(s.get("keep", "a").unwrap().meta.etag, etag);
+        // Second upload of the same content: manifest only.
+        s.put_delta("keep", "b", &manifest, &[], []).unwrap();
+        assert_eq!(s.get("keep", "b").unwrap().data.as_ref(), &payload[..]);
+        let u = s.usage();
+        assert_eq!(u.delta_puts, 2);
+        assert_eq!(u.bytes_uploaded, 10_000, "logical counts both");
+        assert_eq!(
+            u.bytes_wire,
+            5_000 + 2 * manifest.encoded_len(),
+            "second upload ships the manifest only, no chunk bytes"
+        );
+        assert_eq!(u.bytes_physical, 5_000);
+    }
+
+    #[test]
+    fn put_delta_missing_chunks_is_atomic() {
+        let s = store();
+        let payload = varied(4000, 2);
+        let (manifest, chunks) = chunk_bytes(&payload, ChunkerParams::DEFAULT);
+        assert!(manifest.chunks.len() >= 2, "payload must span chunks");
+        // Send all but one chunk against an empty store.
+        let partial = &chunks[1..];
+        let err = s.put_delta("keep", "a", &manifest, partial, []).unwrap_err();
+        match err {
+            StoreError::MissingChunks { missing } => {
+                assert_eq!(missing, vec![chunks[0].digest]);
+            }
+            other => panic!("expected MissingChunks, got {other:?}"),
+        }
+        // Nothing was stored, nothing leaked.
+        let u = s.usage();
+        assert_eq!(u.objects, 0);
+        assert_eq!(u.bytes_physical, 0);
+        assert_eq!(u.chunks, 0);
+        assert!(s.get("keep", "a").is_err());
+    }
+
+    #[test]
+    fn put_delta_rejects_corrupt_chunks() {
+        let s = store();
+        let payload = vec![4u8; 1000];
+        let (manifest, mut chunks) = chunk_bytes(&payload, ChunkerParams::DEFAULT);
+        chunks[0].data = Bytes::copy_from_slice(b"not the real bytes");
+        assert!(matches!(
+            s.put_delta("keep", "a", &manifest, &chunks, []),
+            Err(StoreError::DeltaMismatch { .. })
+        ));
+        let mut bad = manifest.clone();
+        bad.total_len += 1;
+        assert!(matches!(
+            s.put_delta("keep", "a", &bad, &[], []),
+            Err(StoreError::DeltaMismatch { .. })
+        ));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Structured telemetry for the RAI reproduction.
+//! # rai-telemetry — structured telemetry for the RAI reproduction
 //!
 //! One [`Telemetry`] handle is threaded through the whole pipeline
 //! (broker, workers, sandbox, object store, database, autoscaler) and
@@ -59,6 +59,13 @@ pub mod names {
     pub const STORE_EXPIRED_TOTAL: &str = "rai_store_expired_total";
     pub const STORE_BYTES_STORED: &str = "rai_store_bytes_stored";
     pub const STORE_OBJECTS: &str = "rai_store_objects";
+    // Dedup (content-addressed storage) metrics.
+    pub const STORE_BYTES_LOGICAL: &str = "rai_store_bytes_logical";
+    pub const STORE_BYTES_PHYSICAL: &str = "rai_store_bytes_physical";
+    pub const STORE_CHUNKS: &str = "rai_store_chunks";
+    pub const STORE_CHUNKS_DEDUP_TOTAL: &str = "rai_store_chunks_dedup_total";
+    pub const STORE_BYTES_WIRE_TOTAL: &str = "rai_store_bytes_wire_total";
+    pub const STORE_DELTA_PUTS_TOTAL: &str = "rai_store_delta_puts_total";
     pub const DB_INSERTS_TOTAL: &str = "rai_db_inserts_total";
     pub const DB_QUERIES_TOTAL: &str = "rai_db_queries_total";
     pub const DB_UPDATES_TOTAL: &str = "rai_db_updates_total";

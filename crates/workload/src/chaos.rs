@@ -102,6 +102,9 @@ pub struct ChaosResult {
     pub fingerprint: u64,
     /// Telemetry snapshot at run end.
     pub metrics: MetricsSnapshot,
+    /// File-server usage at run end (dedup ratios must hold under
+    /// faults too — crash-redelivered uploads land on the same chunks).
+    pub store: rai_store::StoreUsage,
 }
 
 impl ChaosResult {
@@ -343,6 +346,7 @@ pub fn run_chaos(config: &ChaosConfig) -> ChaosResult {
         })
         .unwrap_or_default();
     let metrics = driver.system.telemetry().snapshot();
+    let store = driver.system.store().usage();
     ChaosResult {
         accepted,
         rejected,
@@ -355,6 +359,7 @@ pub fn run_chaos(config: &ChaosConfig) -> ChaosResult {
         standings,
         fingerprint: fp,
         metrics,
+        store,
     }
 }
 

@@ -150,7 +150,7 @@ fn build_outputs_round_trip_through_file_server() {
     let url = receipt.build_url.expect("worker published a build URL");
     assert!(url.starts_with("rai-s3://rai-builds/"));
     let obj = sys.store().get_presigned(&url).expect("presigned URL valid");
-    let tree = rai::archive::unpack(&obj.data).expect("archive valid");
+    let tree = rai::archive::restore(&obj.data).expect("archive valid");
     // The nvprof timeline the default build produces is in there.
     assert!(tree.contains("timeline.nvprof"));
     assert!(tree.contains("ece408"));
