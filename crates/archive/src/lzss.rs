@@ -56,7 +56,10 @@ const HASH_SIZE: usize = 1 << 15;
 /// Compress `data`. Output always starts with the LZSS header; even an
 /// empty input produces a valid (header-only) stream.
 pub fn compress(data: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    // Worst case (incompressible input) is 1 flag byte per 8 literals
+    // plus the header — size for that so pathological inputs don't pay
+    // a mid-stream regrow.
+    let mut out = Vec::with_capacity(data.len() + data.len() / 8 + 16);
     out.extend_from_slice(MAGIC);
     out.extend_from_slice(&(data.len() as u64).to_le_bytes());
 
@@ -86,15 +89,32 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
     while i < data.len() {
         let mut best_len = 0usize;
         let mut best_dist = 0usize;
-        if i + MIN_MATCH <= data.len() {
-            let h = key3(data, i);
+        // key3 at the current position, shared by the match search and
+        // the chain insertion below (None past the last 3-byte prefix).
+        let h_here = (i + MIN_MATCH <= data.len()).then(|| key3(data, i));
+        if let Some(h) = h_here {
+            let max_len = MAX_MATCH.min(data.len() - i);
             let mut cand = head[h];
             let mut chain = 0;
             while cand != usize::MAX && chain < MAX_CHAIN {
                 if i - cand > WINDOW {
                     break;
                 }
-                let max_len = MAX_MATCH.min(data.len() - i);
+                // Nothing can beat a match already at the length cap
+                // (also keeps the probe below in bounds near the end).
+                if best_len >= max_len {
+                    break;
+                }
+                // A candidate can only beat best_len if it matches at
+                // offset best_len too, so reject on that single byte
+                // before paying for the full prefix compare. (A
+                // candidate failing there matches at most best_len
+                // bytes and `best` only updates on strictly greater.)
+                if best_len > 0 && data[cand + best_len] != data[i + best_len] {
+                    cand = prev[cand % WINDOW];
+                    chain += 1;
+                    continue;
+                }
                 let mut l = 0;
                 while l < max_len && data[cand + l] == data[i + l] {
                     l += 1;
@@ -118,8 +138,14 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
             let token = (d << 4) | l;
             out.extend_from_slice(&token.to_le_bytes());
             // Insert every covered position into the chains so later
-            // matches can refer inside this match.
+            // matches can refer inside this match. The first position
+            // reuses the key already computed for the search.
             let end = i + best_len;
+            if let Some(h) = h_here {
+                prev[i % WINDOW] = head[h];
+                head[h] = i;
+            }
+            i += 1;
             while i < end {
                 if i + MIN_MATCH <= data.len() {
                     let h = key3(data, i);
@@ -131,8 +157,7 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
         } else {
             flags |= 1 << flag_bit;
             out.push(data[i]);
-            if i + MIN_MATCH <= data.len() {
-                let h = key3(data, i);
+            if let Some(h) = h_here {
                 prev[i % WINDOW] = head[h];
                 head[h] = i;
             }
@@ -196,9 +221,16 @@ pub fn decompress(stream: &[u8]) -> Result<Vec<u8>, LzssError> {
                     return Err(LzssError::BadDistance);
                 }
                 let start = out.len() - dist;
-                for k in 0..len {
-                    let b = out[start + k];
-                    out.push(b);
+                if dist >= len {
+                    // Source and destination don't overlap: one memcpy.
+                    out.extend_from_within(start..start + len);
+                } else {
+                    // Overlapping self-reference (e.g. run-length): the
+                    // copy must observe bytes it just produced.
+                    for k in 0..len {
+                        let b = out[start + k];
+                        out.push(b);
+                    }
                 }
             }
         }

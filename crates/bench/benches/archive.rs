@@ -58,5 +58,31 @@ fn bench_lzss(c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, bench_pack_unpack, bench_lzss);
+fn bench_chunker(c: &mut Criterion) {
+    use rai_archive::chunk::{chunk_bytes, ChunkerParams};
+    let mut g = c.benchmark_group("archive/chunker");
+    // Pseudorandom bytes (worst case: boundaries everywhere the mask
+    // allows) and repetitive project text (long forced-max chunks).
+    let mut state = 0x5EEDu64;
+    let random: Vec<u8> = (0..1 << 20)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u8
+        })
+        .collect();
+    let text = "__global__ void conv(float* y, const float* x) { y[threadIdx.x] = x[threadIdx.x]; }\n"
+        .repeat(12_000)
+        .into_bytes();
+    for (label, buf) in [("random_1mib", &random), ("text_1mib", &text)] {
+        g.throughput(Throughput::Bytes(buf.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(label), buf, |b, buf| {
+            b.iter(|| chunk_bytes(buf, ChunkerParams::DEFAULT));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pack_unpack, bench_lzss, bench_chunker);
 criterion_main!(benches);

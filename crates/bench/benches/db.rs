@@ -111,6 +111,24 @@ fn bench_aggregation(c: &mut Criterion) {
     });
 }
 
+fn bench_find_with_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("db/find_with_sort_limit");
+    // The standings query shape: filter + sort + limit. With the index
+    // the sort is served in key order with early exit; without it the
+    // matching set is materialised and sorted.
+    for (label, indexed) in [("scan", false), ("indexed", true)] {
+        let coll = seeded_collection(10_000, indexed);
+        g.bench_function(label, |b| {
+            let opts = FindOptions::sort_asc("runtime_secs").limit(30);
+            b.iter(|| {
+                let top = coll.find_with(&doc! {}, &opts);
+                assert_eq!(top.len(), 30);
+            });
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_insert,
@@ -118,6 +136,7 @@ criterion_group!(
     bench_query_index_ablation,
     bench_point_lookup,
     bench_leaderboard_sort,
+    bench_find_with_ablation,
     bench_ranking_upsert
 );
 criterion_main!(benches);

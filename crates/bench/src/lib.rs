@@ -18,6 +18,7 @@
 //! | `ablation_log_gc`      | ephemeral log-topic GC design choice |
 //! | `chaos_report`         | §IV crash-requeue guarantee, audited under chaos |
 //! | `store_report`         | storage dedup baseline (`BENCH_store.json`, DESIGN.md §10) |
+//! | `perf_report`          | end-to-end perf baseline (`BENCH_perf.json`, DESIGN.md §11) |
 
 use rai_auth::{sign_request, Credentials};
 use rai_core::client::ProjectDir;

@@ -5,12 +5,12 @@
 use crate::message::{Message, MessageId};
 use crate::queue::{ChannelState, RecvError, Requeued};
 use bytes::Bytes;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use rai_faults::{FaultInjector, FaultKind};
 use rai_sim::{SimDuration, VirtualClock};
 use std::collections::HashMap;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -85,12 +85,24 @@ struct TopicState {
     /// Messages published before the first channel existed.
     backlog: Mutex<VecDeque<Message>>,
     published: AtomicU64,
+    /// Set while the topic sits on the broker's dirty list (it has had
+    /// a message claimed since the last `reclaim_expired` pass).
+    dirty: AtomicBool,
 }
 
 struct BrokerInner {
     config: BrokerConfig,
     clock: VirtualClock,
-    topics: Mutex<HashMap<String, Arc<TopicState>>>,
+    /// Topic table. A `RwLock` so the hot paths — publish and
+    /// subscription receives — share a read lock and contend only on
+    /// the per-topic/per-channel locks; the write lock is taken once
+    /// per topic lifetime (creation and GC).
+    topics: RwLock<HashMap<String, Arc<TopicState>>>,
+    /// Topics with messages claimed since the last reclaim pass, so
+    /// `reclaim_expired` visits O(touched topics) instead of rescanning
+    /// the whole table (which is mostly short-lived `log_*` topics that
+    /// never hold a claim long).
+    dirty: Mutex<Vec<Arc<TopicState>>>,
     next_message_id: AtomicU64,
     next_subscriber_id: AtomicU64,
     injector: Mutex<Option<FaultInjector>>,
@@ -99,7 +111,10 @@ struct BrokerInner {
 
 impl BrokerInner {
     fn topic(&self, name: &str, ephemeral: bool) -> Arc<TopicState> {
-        let mut topics = self.topics.lock();
+        if let Some(t) = self.topics.read().get(name) {
+            return t.clone();
+        }
+        let mut topics = self.topics.write();
         topics
             .entry(name.to_string())
             .or_insert_with(|| {
@@ -109,9 +124,18 @@ impl BrokerInner {
                     channels: Mutex::new(HashMap::new()),
                     backlog: Mutex::new(VecDeque::new()),
                     published: AtomicU64::new(0),
+                    dirty: AtomicBool::new(false),
                 })
             })
             .clone()
+    }
+
+    /// Note that `topic` just had a message claimed: it must be visited
+    /// by the next `reclaim_expired` pass.
+    fn mark_dirty(&self, topic: &Arc<TopicState>) {
+        if !topic.dirty.swap(true, Ordering::AcqRel) {
+            self.dirty.lock().push(topic.clone());
+        }
     }
 
     fn publish_raw(
@@ -147,7 +171,12 @@ impl BrokerInner {
             }
             backlog.push_back(msg);
         } else {
-            // NSQ semantics: every channel receives a copy.
+            // NSQ semantics: every channel receives a copy — but the
+            // "copy" is a shallow `Bytes` handle on one shared
+            // allocation, so fan-out cost is per-channel bookkeeping,
+            // never a payload memcpy (dead-letter republish rides the
+            // same handle). Depth is checked across all channels first
+            // so a publish is all-or-nothing.
             for ch in channels.values() {
                 if ch.depth() >= self.config.max_channel_depth {
                     return Err(PublishError::ChannelFull {
@@ -209,7 +238,8 @@ impl Broker {
             inner: Arc::new(BrokerInner {
                 config,
                 clock,
-                topics: Mutex::new(HashMap::new()),
+                topics: RwLock::new(HashMap::new()),
+                dirty: Mutex::new(Vec::new()),
                 next_message_id: AtomicU64::new(1),
                 next_subscriber_id: AtomicU64::new(1),
                 injector: Mutex::new(None),
@@ -294,7 +324,7 @@ impl Broker {
 
     /// Delete a topic outright, closing all its channels.
     pub fn delete_topic(&self, name: &str) -> bool {
-        let Some(t) = self.inner.topics.lock().remove(name) else {
+        let Some(t) = self.inner.topics.write().remove(name) else {
             return false;
         };
         for ch in t.channels.lock().values() {
@@ -305,19 +335,19 @@ impl Broker {
 
     /// Names of live topics.
     pub fn topic_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.inner.topics.lock().keys().cloned().collect();
+        let mut names: Vec<String> = self.inner.topics.read().keys().cloned().collect();
         names.sort();
         names
     }
 
     /// Whether a topic currently exists.
     pub fn has_topic(&self, name: &str) -> bool {
-        self.inner.topics.lock().contains_key(name)
+        self.inner.topics.read().contains_key(name)
     }
 
     /// Per-topic statistics snapshot.
     pub fn topic_stats(&self, name: &str) -> Option<TopicStats> {
-        let t = self.inner.topics.lock().get(name)?.clone();
+        let t = self.inner.topics.read().get(name)?.clone();
         let mut depth = 0;
         let mut in_flight = 0;
         let mut acked = 0;
@@ -349,30 +379,44 @@ impl Broker {
     }
 
     /// Requeue every in-flight message claimed more than `timeout` of
-    /// sim time ago, across all topics and channels (run periodically,
-    /// like nsqd's message timeout). Messages over the attempt cap are
-    /// routed to their dead-letter topic instead. Topics are processed
-    /// in name order and messages in id order, so redelivery is
-    /// deterministic. Returns how many messages went back to ready
-    /// queues.
+    /// sim time ago (run periodically, like nsqd's message timeout).
+    /// Messages over the attempt cap are routed to their dead-letter
+    /// topic instead. Only topics on the dirty list — those with a
+    /// message claimed since the last pass — are visited; everything
+    /// else cannot hold an expired claim, so the pass is O(touched
+    /// topics), not O(all topics). Dirty topics are processed in name
+    /// order and messages in id order, so redelivery is deterministic.
+    /// Returns how many messages went back to ready queues.
     pub fn reclaim_expired(&self, timeout: SimDuration) -> usize {
-        let mut names = self.topic_names();
-        names.sort();
+        let mut dirty = std::mem::take(&mut *self.inner.dirty.lock());
+        dirty.sort_by(|a, b| a.name.cmp(&b.name));
         let mut n = 0;
-        for name in names {
-            let Some(t) = self.inner.topics.lock().get(&name).cloned() else {
-                continue;
-            };
+        for t in dirty {
+            t.dirty.store(false, Ordering::Release);
             let mut channels: Vec<Arc<ChannelState>> =
                 t.channels.lock().values().cloned().collect();
             channels.sort_by(|a, b| a.name.cmp(&b.name));
+            let mut still_in_flight = false;
             for ch in channels {
                 let r = ch.reclaim_expired(timeout);
                 self.inner.route_dead(&t.name, &ch, &r);
                 n += r.requeued;
+                still_in_flight |= ch.in_flight_count() > 0;
+            }
+            if still_in_flight {
+                // Unexpired claims survive this pass; the next one must
+                // look at this topic again even if nothing new is
+                // claimed in between.
+                self.inner.mark_dirty(&t);
             }
         }
         n
+    }
+
+    /// Topics awaiting a `reclaim_expired` visit (they had a message
+    /// claimed since the last pass). Exposed for tests and benches.
+    pub fn dirty_topics(&self) -> usize {
+        self.inner.dirty.lock().len()
     }
 
     /// Whole-broker statistics snapshot.
@@ -459,12 +503,16 @@ impl Subscription {
     /// Blocking receive with timeout. The returned message is in flight
     /// until [`Subscription::ack`] or [`Subscription::requeue`].
     pub fn recv_timeout(&self, timeout: Duration) -> Result<Message, RecvError> {
-        self.channel.recv_timeout(self.subscriber_id, timeout)
+        let msg = self.channel.recv_timeout(self.subscriber_id, timeout)?;
+        self.broker.mark_dirty(&self.topic);
+        Ok(msg)
     }
 
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Option<Message> {
-        self.channel.try_recv(self.subscriber_id)
+        let msg = self.channel.try_recv(self.subscriber_id)?;
+        self.broker.mark_dirty(&self.topic);
+        Some(msg)
     }
 
     /// Acknowledge (complete) an in-flight message.
@@ -512,7 +560,7 @@ impl Drop for Subscription {
                 .values()
                 .any(|ch| ch.subscribers.load(Ordering::SeqCst) > 0);
             if !any_subscribed {
-                let mut topics = self.broker.topics.lock();
+                let mut topics = self.broker.topics.write();
                 // Re-check under the topics lock: a new subscriber may
                 // have raced in via a fresh `subscribe` call.
                 let still_unused = self
@@ -771,6 +819,65 @@ mod tests {
         let audit = b.subscribe(&dead_letter_topic("rai", "tasks"), "audit");
         let d = audit.recv_timeout(Duration::from_millis(100)).unwrap();
         assert_eq!(d.body_str(), "one-shot");
+    }
+
+    #[test]
+    fn reclaim_visits_only_dirty_topics() {
+        let clock = VirtualClock::new();
+        let b = Broker::with_clock(BrokerConfig::default(), clock.clone());
+        // 50 topics with traffic but no claims: publish-only log streams.
+        let subs: Vec<Subscription> = (0..50)
+            .map(|i| {
+                let name = format!("log_{i:03}");
+                let sub = b.subscribe_ephemeral(&name, "ch");
+                b.publish_ephemeral(&name, &b"line"[..]).unwrap();
+                sub
+            })
+            .collect();
+        assert_eq!(b.dirty_topics(), 0, "ready messages never dirty a topic");
+        // One topic takes a claim.
+        let work = b.subscribe("rai", "tasks");
+        b.publish("rai", &b"job"[..]).unwrap();
+        let _held = work.try_recv().unwrap();
+        assert_eq!(b.dirty_topics(), 1, "only the claimed topic is dirty");
+        // An unexpired claim survives the pass and keeps the topic dirty.
+        assert_eq!(b.reclaim_expired(SimDuration::from_secs(5)), 0);
+        assert_eq!(b.dirty_topics(), 1);
+        // Once expired, the claim is requeued and the list empties.
+        clock.advance(SimDuration::from_secs(6));
+        assert_eq!(b.reclaim_expired(SimDuration::from_secs(5)), 1);
+        assert_eq!(b.dirty_topics(), 0);
+        let again = work.recv_timeout(Duration::from_millis(100)).unwrap();
+        assert_eq!(again.attempts, 2);
+        work.ack(again.id);
+        drop(subs);
+    }
+
+    #[test]
+    fn fanout_shares_one_body_allocation() {
+        // NSQ semantics hand every channel "a copy"; ours is a shallow
+        // `Bytes` handle, so all channels must see the same bytes at
+        // the same address — fan-out never deep-copies the payload.
+        let b = Broker::default();
+        let subs: Vec<Subscription> = (0..3).map(|i| b.subscribe("t", &format!("ch{i}"))).collect();
+        let payload: Vec<u8> = (0..4096u32).map(|i| i as u8).collect();
+        b.publish("t", payload.clone()).unwrap();
+        let bodies: Vec<Bytes> = subs
+            .iter()
+            .map(|s| {
+                let m = s.try_recv().expect("every channel sees the message");
+                s.ack(m.id);
+                m.body
+            })
+            .collect();
+        for body in &bodies {
+            assert_eq!(body.as_ref(), &payload[..], "identical bytes on every channel");
+            assert_eq!(
+                body.as_ref().as_ptr(),
+                bodies[0].as_ref().as_ptr(),
+                "same allocation on every channel"
+            );
+        }
     }
 
     #[test]

@@ -213,3 +213,45 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Fan-out shares one body allocation: every channel must see the
+    /// exact bytes published, in publish order, and every delivered
+    /// body must point at the same backing buffer (shallow `Bytes`
+    /// clones, no deep copies).
+    #[test]
+    fn fanout_delivers_identical_shared_bytes(
+        bodies in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 1..20),
+        channels in 1usize..6,
+    ) {
+        let broker = Broker::default();
+        let subs: Vec<_> = (0..channels)
+            .map(|i| broker.subscribe("t", &format!("ch{i}")))
+            .collect();
+        for body in &bodies {
+            broker.publish("t", body.clone()).expect("publish");
+        }
+        // per_channel_ptrs[i][j]: backing-buffer pointer of message j as
+        // seen by channel i.
+        let mut per_channel_ptrs: Vec<Vec<*const u8>> = Vec::new();
+        for sub in &subs {
+            let mut ptrs = Vec::new();
+            for body in &bodies {
+                let m = sub.try_recv().expect("one copy per channel");
+                prop_assert_eq!(m.body.as_ref(), &body[..], "bytes must match the publish");
+                ptrs.push(m.body.as_ref().as_ptr());
+                prop_assert!(sub.ack(m.id));
+            }
+            prop_assert!(sub.try_recv().is_none(), "no extra messages");
+            per_channel_ptrs.push(ptrs);
+        }
+        for ptrs in &per_channel_ptrs[1..] {
+            prop_assert_eq!(
+                ptrs, &per_channel_ptrs[0],
+                "each message must share one buffer across all channels"
+            );
+        }
+    }
+}

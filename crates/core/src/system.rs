@@ -44,6 +44,13 @@ pub struct SystemConfig {
     /// Deterministic fault plan; `None` (and [`FaultPlan::none`]) run
     /// the system fault-free.
     pub fault_plan: Option<FaultPlan>,
+    /// Create the hot-path secondary indexes (submissions by `job_id`,
+    /// rankings by `team` and `runtime_secs`, teams by `team`) at
+    /// deployment time. On: every per-job upsert is a point lookup.
+    /// Off: those queries fall back to full collection scans — the
+    /// pre-overhaul behaviour, kept as `perf_report`'s reference run.
+    /// Results are identical either way; only wall-clock differs.
+    pub db_hot_indexes: bool,
 }
 
 impl Default for SystemConfig {
@@ -57,6 +64,7 @@ impl Default for SystemConfig {
             seed: 0x5EED,
             broker_attempts: 8,
             fault_plan: None,
+            db_hot_indexes: true,
         }
     }
 }
@@ -122,6 +130,17 @@ impl RaiSystem {
             .create_bucket(BUILD_BUCKET, LifecycleRule::AfterUpload(SimDuration::from_days(90)))
             .expect("fresh store");
         let db = Database::new();
+        if config.db_hot_indexes {
+            // The write paths these serve: one submissions upsert per
+            // job attempt (keyed by job_id), one rankings upsert per
+            // final submission (keyed by team), leaderboard reads
+            // sorted by runtime_secs, and team lookups at registration.
+            db.collection("submissions").write().create_index("job_id");
+            let rankings = db.collection("rankings");
+            rankings.write().create_index("team");
+            rankings.write().create_index("runtime_secs");
+            db.collection("teams").write().create_index("team");
+        }
         let registry = Arc::new(RwLock::new(CredentialRegistry::new()));
         let images = Arc::new(ImageRegistry::course_default());
         let telemetry = Telemetry::new(clock.clone());

@@ -145,9 +145,29 @@ impl Collection {
         id
     }
 
-    /// Insert many documents.
+    /// Insert many documents. Index maintenance is batched: documents
+    /// land first, then each index is updated in one pass over the new
+    /// rows (one cache-warm walk per index instead of an index round
+    /// per document).
     pub fn insert_many(&mut self, docs: impl IntoIterator<Item = Document>) -> Vec<DocId> {
-        docs.into_iter().map(|d| self.insert_one(d)).collect()
+        let mut ids = Vec::new();
+        for mut doc in docs {
+            self.inserts.fetch_add(1, Ordering::Relaxed);
+            self.next_id += 1;
+            let id = self.next_id;
+            doc.insert("_id", id);
+            self.docs.insert(id, doc);
+            ids.push(id);
+        }
+        for (field, idx) in self.indexes.iter_mut() {
+            for id in &ids {
+                let doc = self.docs.get(id).expect("inserted above");
+                if let Some(v) = doc.get_path(field) {
+                    idx.insert(v, *id);
+                }
+            }
+        }
+        ids
     }
 
     /// Build a secondary index on a dotted path (also indexes existing
@@ -170,9 +190,81 @@ impl Collection {
         self.indexes.contains_key(field)
     }
 
-    /// Ids of candidate documents for `query`, via an index if one
-    /// applies; `None` means "no usable index — scan everything".
+    /// Candidate doc ids one indexed predicate admits, sorted
+    /// ascending, or `None` when the predicate can't use the index.
+    /// Every returned set is a superset of the documents the predicate
+    /// matches — callers always re-verify with [`matches`].
+    fn index_candidates(idx: &Index, cond: &Value) -> Option<Vec<DocId>> {
+        match cond {
+            Value::Doc(ops) if ops.iter().all(|(k, _)| k.starts_with('$')) && !ops.is_empty() => {
+                // $eq dominates: any other operator can only shrink the
+                // set further, and matches() applies it anyway.
+                if let Some(eq) = ops.get("$eq") {
+                    return Some(idx.lookup_eq(eq));
+                }
+                // $in: the union of one point lookup per element
+                // (eq_loose and the index key order agree exactly).
+                if let Some(Value::Array(elems)) = ops.get("$in") {
+                    let mut ids: Vec<DocId> = elems
+                        .iter()
+                        .flat_map(|e| idx.lookup_eq(e))
+                        .collect();
+                    ids.sort_unstable();
+                    ids.dedup();
+                    return Some(ids);
+                }
+                let mut lo: Bound<&Value> = Bound::Unbounded;
+                let mut hi: Bound<&Value> = Bound::Unbounded;
+                let mut usable = false;
+                for (op, operand) in ops.iter() {
+                    match op.as_str() {
+                        "$gt" => {
+                            lo = Bound::Excluded(operand);
+                            usable = true;
+                        }
+                        "$gte" => {
+                            lo = Bound::Included(operand);
+                            usable = true;
+                        }
+                        "$lt" => {
+                            hi = Bound::Excluded(operand);
+                            usable = true;
+                        }
+                        "$lte" => {
+                            hi = Bound::Included(operand);
+                            usable = true;
+                        }
+                        _ => {}
+                    }
+                }
+                if usable {
+                    // Range ids come out in key order, not id order.
+                    let mut ids = idx.lookup_range(lo, hi);
+                    ids.sort_unstable();
+                    return Some(ids);
+                }
+                None
+            }
+            // Implicit equality on a literal. Unusable for Null (a
+            // missing field also matches, and missing fields are not
+            // indexed) and while any indexed value is an array (bare
+            // literals have containment semantics a whole-value key
+            // lookup cannot serve). `$eq`/`$in`/ranges need neither
+            // guard: they only match documents carrying the field.
+            Value::Null => None,
+            _ if idx.has_array_keys() => None,
+            literal => Some(idx.lookup_eq(literal)),
+        }
+    }
+
+    /// Ids of candidate documents for `query`, via indexes when any
+    /// apply; `None` means "no usable index — scan everything". When
+    /// several top-level predicates are indexed, their candidate sets
+    /// are intersected in ascending-selectivity order (smallest set
+    /// first), so the result is never larger than the most selective
+    /// index's set. The returned ids are sorted ascending.
     fn candidates(&self, query: &Document) -> Option<Vec<DocId>> {
+        let mut sets: Vec<Vec<DocId>> = Vec::new();
         for (field, cond) in query.iter() {
             if field.starts_with('$') {
                 continue;
@@ -180,102 +272,140 @@ impl Collection {
             let Some(idx) = self.indexes.get(field) else {
                 continue;
             };
-            match cond {
-                // Implicit equality on a scalar literal.
-                Value::Doc(ops) if ops.iter().all(|(k, _)| k.starts_with('$')) && !ops.is_empty() => {
-                    if let Some(eq) = ops.get("$eq") {
-                        return Some(idx.lookup_eq(eq));
-                    }
-                    let mut lo: Bound<&Value> = Bound::Unbounded;
-                    let mut hi: Bound<&Value> = Bound::Unbounded;
-                    let mut usable = false;
-                    for (op, operand) in ops.iter() {
-                        match op.as_str() {
-                            "$gt" => {
-                                lo = Bound::Excluded(operand);
-                                usable = true;
-                            }
-                            "$gte" => {
-                                lo = Bound::Included(operand);
-                                usable = true;
-                            }
-                            "$lt" => {
-                                hi = Bound::Excluded(operand);
-                                usable = true;
-                            }
-                            "$lte" => {
-                                hi = Bound::Included(operand);
-                                usable = true;
-                            }
-                            _ => {}
-                        }
-                    }
-                    if usable {
-                        return Some(idx.lookup_range(lo, hi));
-                    }
-                }
-                literal => return Some(idx.lookup_eq(literal)),
+            if let Some(ids) = Self::index_candidates(idx, cond) {
+                sets.push(ids);
             }
         }
-        None
+        if sets.is_empty() {
+            return None;
+        }
+        sets.sort_by_key(Vec::len);
+        let mut iter = sets.into_iter();
+        let mut acc = iter.next().expect("non-empty checked");
+        for other in iter {
+            if acc.is_empty() {
+                break;
+            }
+            acc.retain(|id| other.binary_search(id).is_ok());
+        }
+        Some(acc)
+    }
+
+    /// Planner introspection: how many candidate ids the planner would
+    /// examine for `query` (`None` = full scan). Exposed for tests and
+    /// benches; the number is an upper bound on documents touched.
+    pub fn candidate_count(&self, query: &Document) -> Option<usize> {
+        self.candidates(query).map(|ids| ids.len())
+    }
+
+    /// Ids of documents matching `query`, ascending — the shared scan
+    /// core of the read path. No document is cloned here.
+    fn matching_ids(&self, query: &Document) -> Vec<DocId> {
+        match self.candidates(query) {
+            Some(ids) => ids
+                .into_iter()
+                .filter(|id| self.docs.get(id).is_some_and(|d| matches(query, d)))
+                .collect(),
+            None => self
+                .docs
+                .iter()
+                .filter(|(_, d)| matches(query, d))
+                .map(|(id, _)| *id)
+                .collect(),
+        }
     }
 
     /// All documents matching `query`, in `_id` order.
     pub fn find(&self, query: &Document) -> Vec<Document> {
         self.queries.fetch_add(1, Ordering::Relaxed);
-        match self.candidates(query) {
-            Some(mut ids) => {
-                ids.sort_unstable();
-                ids.iter()
-                    .filter_map(|id| self.docs.get(id))
-                    .filter(|d| matches(query, d))
-                    .cloned()
-                    .collect()
-            }
-            None => self
-                .docs
-                .values()
-                .filter(|d| matches(query, d))
-                .cloned()
-                .collect(),
-        }
+        self.matching_ids(query)
+            .iter()
+            .filter_map(|id| self.docs.get(id))
+            .cloned()
+            .collect()
     }
 
     /// First matching document.
     pub fn find_one(&self, query: &Document) -> Option<Document> {
         self.queries.fetch_add(1, Ordering::Relaxed);
         match self.candidates(query) {
-            Some(mut ids) => {
-                ids.sort_unstable();
-                ids.iter()
-                    .filter_map(|id| self.docs.get(id))
-                    .find(|d| matches(query, d))
-                    .cloned()
-            }
+            Some(ids) => ids
+                .iter()
+                .filter_map(|id| self.docs.get(id))
+                .find(|d| matches(query, d))
+                .cloned(),
             None => self.docs.values().find(|d| matches(query, d)).cloned(),
         }
     }
 
     /// Find with sort/skip/limit. Missing sort fields order first
     /// (as `Null`).
+    ///
+    /// Runs as a cursor: matching ids are collected and ordered first,
+    /// and only the documents that survive skip/limit are cloned. When
+    /// the sort field has an index covering every document, the rows
+    /// stream straight out of the index in key order and the scan stops
+    /// as soon as `skip + limit` rows matched — `sort+limit` over a big
+    /// collection never materialises it.
     pub fn find_with(&self, query: &Document, opts: &FindOptions) -> Vec<Document> {
-        let mut results = self.find(query);
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let limit = opts.limit.unwrap_or(usize::MAX);
         if let Some((field, order)) = &opts.sort_by {
-            results.sort_by(|a, b| {
-                let null = Value::Null;
-                let va = a.get_path(field).unwrap_or(&null);
-                let vb = b.get_path(field).unwrap_or(&null);
-                let ord = va.cmp_order(vb);
+            // Index-order fast path. The covering condition (every doc
+            // carries the field) guarantees no row would sort as a
+            // missing-field Null outside the index.
+            if let Some(idx) = self.indexes.get(field) {
+                if idx.len() == self.docs.len() {
+                    let mut out = Vec::new();
+                    let mut to_skip = opts.skip;
+                    for id in idx.ids_in_key_order(*order == SortOrder::Desc) {
+                        if out.len() >= limit {
+                            break;
+                        }
+                        let doc = self.docs.get(&id).expect("index entry has a doc");
+                        if !matches(query, doc) {
+                            continue;
+                        }
+                        if to_skip > 0 {
+                            to_skip -= 1;
+                            continue;
+                        }
+                        out.push(doc.clone());
+                    }
+                    return out;
+                }
+            }
+            // General path: order ids by the sort key (stable, so ties
+            // keep `_id` order), then clone only the surviving window.
+            let mut ids = self.matching_ids(query);
+            let null = Value::Null;
+            let key = |id: &DocId| {
+                self.docs
+                    .get(id)
+                    .and_then(|d| d.get_path(field))
+                    .unwrap_or(&null)
+            };
+            ids.sort_by(|a, b| {
+                let ord = key(a).cmp_order(key(b));
                 match order {
                     SortOrder::Asc => ord,
                     SortOrder::Desc => ord.reverse(),
                 }
             });
+            return ids
+                .into_iter()
+                .skip(opts.skip)
+                .take(limit)
+                .filter_map(|id| self.docs.get(&id))
+                .cloned()
+                .collect();
         }
-        results
+        self.matching_ids(query)
             .into_iter()
             .skip(opts.skip)
-            .take(opts.limit.unwrap_or(usize::MAX))
+            .take(limit)
+            .filter_map(|id| self.docs.get(&id))
+            .cloned()
             .collect()
     }
 
@@ -360,11 +490,9 @@ impl Collection {
     pub fn update_one(&mut self, query: &Document, update: &Document, upsert: bool) -> UpdateResult {
         self.updates.fetch_add(1, Ordering::Relaxed);
         let id = match self.candidates(query) {
-            Some(mut ids) => {
-                ids.sort_unstable();
-                ids.into_iter()
-                    .find(|id| self.docs.get(id).is_some_and(|d| matches(query, d)))
-            }
+            Some(ids) => ids
+                .into_iter()
+                .find(|id| self.docs.get(id).is_some_and(|d| matches(query, d))),
             None => self
                 .docs
                 .iter()
@@ -408,12 +536,7 @@ impl Collection {
     /// Delete every matching document; returns how many were removed.
     pub fn delete_many(&mut self, query: &Document) -> usize {
         self.updates.fetch_add(1, Ordering::Relaxed);
-        let ids: Vec<DocId> = self
-            .docs
-            .iter()
-            .filter(|(_, d)| matches(query, d))
-            .map(|(id, _)| *id)
-            .collect();
+        let ids = self.matching_ids(query);
         for id in &ids {
             if let Some(doc) = self.docs.remove(id) {
                 for (field, idx) in self.indexes.iter_mut() {
@@ -557,6 +680,103 @@ mod tests {
             let b = without_idx.find(&q);
             assert_eq!(a, b, "index vs scan mismatch for {q}");
         }
+    }
+
+    #[test]
+    fn multi_index_intersection_starts_from_smallest_set() {
+        // 200 docs: "kind" is half-and-half (100-doc candidate sets),
+        // "job" is unique (1-doc sets). The planner must intersect in
+        // ascending-selectivity order so the query touches 1 candidate,
+        // not 100 — regression test for the old first-index-wins walk,
+        // whose HashMap iteration order could pick either.
+        let mut c = Collection::new();
+        for i in 0..200i64 {
+            c.insert_one(doc! { "kind" => if i % 2 == 0 { "run" } else { "submit" }, "job" => i });
+        }
+        c.create_index("kind");
+        c.create_index("job");
+        let q = doc! { "kind" => "run", "job" => 42 };
+        assert_eq!(c.candidate_count(&q), Some(1));
+        let hit = c.find(&q);
+        assert_eq!(hit.len(), 1);
+        assert_eq!(hit[0].get("job"), Some(&Value::Int(42)));
+        // Contradictory predicates intersect to nothing.
+        assert_eq!(c.candidate_count(&doc! { "kind" => "submit", "job" => 42 }), Some(0));
+        assert!(c.find(&doc! { "kind" => "submit", "job" => 42 }).is_empty());
+        // A range plus an equality still intersects smallest-first.
+        let q = doc! { "job" => doc!{ "$gte" => 40, "$lt" => 60 }, "kind" => "run" };
+        assert!(c.candidate_count(&q).unwrap() <= 20);
+        assert_eq!(c.find(&q).len(), 10);
+    }
+
+    #[test]
+    fn in_predicate_uses_point_lookups() {
+        let mut c = rankings();
+        c.create_index("team");
+        let q = doc! { "team" => doc!{ "$in" => vec!["a", "d", "zz"] } };
+        assert_eq!(c.candidate_count(&q), Some(2));
+        let teams: Vec<_> = c
+            .find(&q)
+            .into_iter()
+            .map(|d| d.get("team").unwrap().as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(teams, vec!["a", "d"]);
+        // Empty $in list: zero candidates, zero results.
+        assert_eq!(c.candidate_count(&doc! { "team" => doc!{ "$in" => Vec::<&str>::new() } }), Some(0));
+    }
+
+    #[test]
+    fn null_literal_query_falls_back_to_scan() {
+        let mut c = Collection::new();
+        c.create_index("b");
+        c.insert_one(doc! { "a" => 1 }); // no "b": matches the bare Null literal
+        c.insert_one(doc! { "b" => Value::Null });
+        c.insert_one(doc! { "b" => 5 });
+        // A bare Null literal also matches docs missing the field, which
+        // are not in the index — the planner must not use it.
+        assert_eq!(c.candidate_count(&doc! { "b" => Value::Null }), None);
+        assert_eq!(c.find(&doc! { "b" => Value::Null }).len(), 2);
+        // $eq Null requires the field present, so the index is usable.
+        assert_eq!(c.candidate_count(&doc! { "b" => doc!{ "$eq" => Value::Null } }), Some(1));
+        assert_eq!(c.find(&doc! { "b" => doc!{ "$eq" => Value::Null } }).len(), 1);
+        // Once an array value is indexed, bare-literal containment
+        // semantics force non-Null literals back to a scan too.
+        c.insert_one(doc! { "b" => vec![5, 6] });
+        assert_eq!(c.candidate_count(&doc! { "b" => 5 }), None);
+        assert_eq!(c.find(&doc! { "b" => 5 }).len(), 2, "scalar and containing array");
+        // Operator equality keeps whole-value semantics and the index.
+        assert_eq!(c.candidate_count(&doc! { "b" => doc!{ "$eq" => 5 } }), Some(1));
+    }
+
+    #[test]
+    fn indexed_sort_matches_materialised_sort() {
+        let mut indexed = Collection::new();
+        let mut plain = Collection::new();
+        for i in 0..50i64 {
+            // Duplicate runtimes exercise tie-breaking by `_id`.
+            let d = doc! { "team" => format!("t{i:02}"), "runtime" => (i % 7) as f64, "final" => i % 3 == 0 };
+            indexed.insert_one(d.clone());
+            plain.insert_one(d);
+        }
+        indexed.create_index("runtime");
+        for opts in [
+            FindOptions::sort_asc("runtime"),
+            FindOptions::sort_desc("runtime"),
+            FindOptions::sort_asc("runtime").skip(3).limit(5),
+            FindOptions::sort_desc("runtime").skip(10).limit(40),
+        ] {
+            let a = indexed.find_with(&doc! { "final" => true }, &opts);
+            let b = plain.find_with(&doc! { "final" => true }, &opts);
+            assert_eq!(a, b, "index-order sort diverged for {opts:?}");
+        }
+        // A doc missing the sort field disables the fast path but keeps
+        // results identical (missing sorts first, as Null).
+        indexed.insert_one(doc! { "team" => "no-runtime", "final" => true });
+        plain.insert_one(doc! { "team" => "no-runtime", "final" => true });
+        let a = indexed.find_with(&doc! { "final" => true }, &FindOptions::sort_asc("runtime"));
+        let b = plain.find_with(&doc! { "final" => true }, &FindOptions::sort_asc("runtime"));
+        assert_eq!(a, b);
+        assert_eq!(a[0].get("team").unwrap().as_str(), Some("no-runtime"));
     }
 
     #[test]

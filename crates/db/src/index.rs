@@ -32,6 +32,8 @@ impl Ord for IndexKey {
 #[derive(Clone, Debug, Default)]
 pub struct Index {
     map: BTreeMap<IndexKey, BTreeSet<u64>>,
+    entries: usize,
+    array_keys: usize,
 }
 
 impl Index {
@@ -42,20 +44,62 @@ impl Index {
 
     /// Register `doc_id` under `value` (the document's field value).
     pub fn insert(&mut self, value: &Value, doc_id: u64) {
-        self.map
+        if self
+            .map
             .entry(IndexKey(value.clone()))
             .or_default()
-            .insert(doc_id);
+            .insert(doc_id)
+        {
+            self.entries += 1;
+            if matches!(value, Value::Array(_)) {
+                self.array_keys += 1;
+            }
+        }
     }
 
     /// Remove `doc_id` from under `value`.
     pub fn remove(&mut self, value: &Value, doc_id: u64) {
         if let Some(set) = self.map.get_mut(&IndexKey(value.clone())) {
-            set.remove(&doc_id);
+            if set.remove(&doc_id) {
+                self.entries -= 1;
+                if matches!(value, Value::Array(_)) {
+                    self.array_keys -= 1;
+                }
+            }
             if set.is_empty() {
                 self.map.remove(&IndexKey(value.clone()));
             }
         }
+    }
+
+    /// Total `(value, doc)` entries. Because each document contributes
+    /// at most one entry, `len() == collection.len()` means every
+    /// document carries the indexed field — the planner's condition for
+    /// serving a sort straight off the index.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// Whether the index holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Whether any indexed value is an array. Bare-literal equality has
+    /// array-containment semantics (`{"f": x}` matches a doc whose `f`
+    /// is an array containing `x`) that a whole-value key lookup cannot
+    /// serve, so the planner falls back to a scan while any are present.
+    pub fn has_array_keys(&self) -> bool {
+        self.array_keys > 0
+    }
+
+    /// Doc ids in index-key order (ascending or descending). Ties
+    /// within one key come out in ascending id order either way,
+    /// matching what a stable sort over `_id`-ordered rows produces.
+    pub fn ids_in_key_order(&self, desc: bool) -> impl Iterator<Item = u64> + '_ {
+        let fwd = (!desc).then(|| self.map.values().flat_map(|s| s.iter().copied()));
+        let rev = desc.then(|| self.map.values().rev().flat_map(|s| s.iter().copied()));
+        fwd.into_iter().flatten().chain(rev.into_iter().flatten())
     }
 
     /// Doc ids with field exactly `value`.
@@ -116,6 +160,27 @@ mod tests {
         assert_eq!(ids, vec![1, 2, 3]);
         let all = idx.lookup_range(Bound::Unbounded, Bound::Unbounded);
         assert_eq!(all.len(), 5);
+    }
+
+    #[test]
+    fn key_order_iteration_and_entry_count() {
+        let mut idx = Index::new();
+        idx.insert(&Value::from(2.0), 5);
+        idx.insert(&Value::from(0.5), 9);
+        idx.insert(&Value::from(0.5), 3);
+        idx.insert(&Value::from(1.0), 7);
+        assert_eq!(idx.len(), 4);
+        let asc: Vec<u64> = idx.ids_in_key_order(false).collect();
+        assert_eq!(asc, vec![3, 9, 7, 5]);
+        let desc: Vec<u64> = idx.ids_in_key_order(true).collect();
+        // Keys reverse; ids within a key stay ascending (stable-sort ties).
+        assert_eq!(desc, vec![5, 7, 3, 9]);
+        // Double-insert is not double-counted; removal decrements.
+        idx.insert(&Value::from(0.5), 3);
+        assert_eq!(idx.len(), 4);
+        idx.remove(&Value::from(0.5), 3);
+        assert_eq!(idx.len(), 3);
+        assert!(!idx.is_empty());
     }
 
     #[test]

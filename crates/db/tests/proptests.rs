@@ -48,6 +48,47 @@ fn arb_query() -> impl Strategy<Value = Document> {
         .prop_map(|(field, op, operand)| doc! { field => doc!{ op => operand } })
 }
 
+/// A single-field condition: bare literal, a comparison operator, or a
+/// `$in` list — everything the planner routes through an index.
+fn arb_condition() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        arb_value(),
+        (
+            prop_oneof![
+                Just("$eq"),
+                Just("$ne"),
+                Just("$lt"),
+                Just("$lte"),
+                Just("$gt"),
+                Just("$gte")
+            ],
+            arb_value(),
+        )
+            .prop_map(|(op, operand)| Value::Doc(doc! { op => operand })),
+        prop::collection::vec(arb_value(), 0..4)
+            .prop_map(|elems| Value::Doc(doc! { "$in" => elems })),
+    ]
+}
+
+/// A conjunction over 1–3 fields (duplicate fields collapse; the last
+/// condition wins, same as any literal query document).
+fn arb_multi_query() -> impl Strategy<Value = Document> {
+    prop::collection::vec(
+        (
+            prop_oneof![Just("a"), Just("b"), Just("c"), Just("d")],
+            arb_condition(),
+        ),
+        1..4,
+    )
+    .prop_map(|conds| {
+        let mut q = Document::new();
+        for (field, cond) in conds {
+            q.insert(field, cond);
+        }
+        q
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -65,6 +106,64 @@ proptest! {
         prop_assert_eq!(plain.find(&query), indexed.find(&query));
         prop_assert_eq!(plain.count(&query), indexed.count(&query));
         prop_assert_eq!(plain.find_one(&query), indexed.find_one(&query));
+    }
+
+    /// The planner must stay invisible under conjunctions too: any mix
+    /// of literal, operator, and `$in` conditions across partially
+    /// indexed fields returns the same docs in the same order as a
+    /// full scan.
+    #[test]
+    fn multi_field_planner_and_scan_agree(
+        docs in prop::collection::vec(arb_doc(), 0..40),
+        query in arb_multi_query(),
+    ) {
+        let mut plain = Collection::new();
+        let mut indexed = Collection::new();
+        for d in &docs {
+            plain.insert_one(d.clone());
+            indexed.insert_one(d.clone());
+        }
+        // "d" stays unindexed on purpose: residual predicates must
+        // still be applied by the post-candidate match.
+        for field in ["a", "b", "c"] {
+            indexed.create_index(field);
+        }
+        prop_assert_eq!(plain.find(&query), indexed.find(&query));
+        prop_assert_eq!(plain.count(&query), indexed.count(&query));
+        prop_assert_eq!(plain.find_one(&query), indexed.find_one(&query));
+    }
+
+    /// `find_with` must return the same docs in the same order whether
+    /// the sort runs through the index fast path or materialise+sort —
+    /// across filters, both directions, and skip/limit windows.
+    #[test]
+    fn find_with_indexed_sort_matches_scan(
+        docs in prop::collection::vec(arb_doc(), 0..40),
+        query in arb_multi_query(),
+        sort_field in prop_oneof![Just("a"), Just("b"), Just("d")],
+        desc in any::<bool>(),
+        skip in 0usize..8,
+        limit in prop_oneof![Just(None), (0usize..12).prop_map(Some)],
+    ) {
+        let mut plain = Collection::new();
+        let mut indexed = Collection::new();
+        for d in &docs {
+            plain.insert_one(d.clone());
+            indexed.insert_one(d.clone());
+        }
+        for field in ["a", "b", "c"] {
+            indexed.create_index(field);
+        }
+        let mut opts = if desc {
+            FindOptions::sort_desc(sort_field)
+        } else {
+            FindOptions::sort_asc(sort_field)
+        };
+        opts = opts.skip(skip);
+        if let Some(n) = limit {
+            opts = opts.limit(n);
+        }
+        prop_assert_eq!(plain.find_with(&query, &opts), indexed.find_with(&query, &opts));
     }
 
     #[test]

@@ -271,12 +271,14 @@ impl ObjectStore {
         if !state.buckets.contains_key(bucket) {
             return Err(StoreError::NoSuchBucket(bucket.to_string()));
         }
-        let by_digest: BTreeMap<u64, &Chunk> = chunks.iter().map(|c| (c.digest, c)).collect();
-        for r in &manifest.chunks {
-            let data = by_digest.get(&r.digest).map(|c| &c.data);
+        // The chunker emits refs and chunk bodies in lockstep, so the
+        // pairing is positional — no digest map needed.
+        debug_assert_eq!(manifest.chunks.len(), chunks.len());
+        for (r, c) in manifest.chunks.iter().zip(&chunks) {
+            debug_assert_eq!(r.digest, c.digest);
             state
                 .chunks
-                .retain(r.digest, data)
+                .retain(r.digest, Some(&c.data))
                 .expect("put chunks carry their own bytes");
         }
         self.install_record(&mut state, bucket, key, manifest, user);
@@ -308,8 +310,10 @@ impl ObjectStore {
     /// referenced chunk must either be provided or already resident,
     /// otherwise the upload fails atomically with
     /// [`StoreError::MissingChunks`] and no state changes. Supplied
-    /// bytes are verified against their claimed digest and the
-    /// manifest's lengths.
+    /// bytes are verified against the manifest's lengths, and against
+    /// their claimed digest when not already resident (resident chunks
+    /// dedup against the stored copy, so their provided bytes are
+    /// never admitted and need no re-hash).
     pub fn put_delta(
         &self,
         bucket: &str,
@@ -327,9 +331,22 @@ impl ObjectStore {
                 reason: "manifest total_len disagrees with chunk lengths",
             });
         }
+        let user: BTreeMap<String, String> = user_meta.into_iter().collect();
+
+        let mut state = self.inner.state.write();
+        if !state.buckets.contains_key(bucket) {
+            return Err(StoreError::NoSuchBucket(bucket.to_string()));
+        }
         let mut by_digest: BTreeMap<u64, &Bytes> = BTreeMap::new();
         for c in provided {
-            if fnv::hash(&c.data) != c.digest {
+            // A chunk that is already resident dedups against the
+            // stored copy and its provided bytes are never admitted
+            // (see ChunkStore::retain), so only hash-verify the bytes
+            // that would actually be written. The client already
+            // digested every chunk when it built the manifest; this
+            // avoids re-hashing the dedup-hit majority a second time
+            // on the server.
+            if !state.chunks.contains(c.digest) && fnv::hash(&c.data) != c.digest {
                 return Err(StoreError::DeltaMismatch {
                     reason: "chunk bytes do not match claimed digest",
                 });
@@ -344,12 +361,6 @@ impl ObjectStore {
                     });
                 }
             }
-        }
-        let user: BTreeMap<String, String> = user_meta.into_iter().collect();
-
-        let mut state = self.inner.state.write();
-        if !state.buckets.contains_key(bucket) {
-            return Err(StoreError::NoSuchBucket(bucket.to_string()));
         }
         // Atomicity: resolve every reference before mutating anything.
         let missing: Vec<u64> = manifest
