@@ -1,0 +1,70 @@
+//! `rai-exec` micro-benchmarks: ordered `par_map` against the plain
+//! sequential map on the chunker workload it actually offloads —
+//! content-defined chunking + FNV digesting of multi-MiB payloads.
+//!
+//! On a single-core host the pool adds only dispatch overhead (the
+//! interesting number is how small that overhead is); on a multi-core
+//! host the `pool*` rows should approach the width-fold speedup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rai_archive::chunk::{chunk_bytes, chunk_bytes_on, ChunkerParams};
+use rai_exec::Executor;
+
+/// Deterministic pseudorandom payload, same generator as the reports.
+fn synthetic_buffer(len: usize) -> Vec<u8> {
+    let mut state = 0x5EEDu64;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u8
+        })
+        .collect()
+}
+
+fn bench_chunker_offload(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exec/chunker");
+    let buf = synthetic_buffer(4 << 20);
+    g.throughput(Throughput::Bytes(buf.len() as u64));
+    g.bench_with_input(BenchmarkId::new("sequential", "4MiB"), &buf, |b, data| {
+        b.iter(|| chunk_bytes(data, ChunkerParams::DEFAULT));
+    });
+    for width in [2usize, 4, 8] {
+        let exec = Executor::new(width);
+        g.bench_with_input(
+            BenchmarkId::new("pool", format!("4MiB/w{width}")),
+            &buf,
+            |b, data| {
+                b.iter(|| chunk_bytes_on(&exec, data, ChunkerParams::DEFAULT));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_par_map_overhead(c: &mut Criterion) {
+    // Many small pure tasks: the per-job dispatch + ordered-join cost.
+    let mut g = c.benchmark_group("exec/par_map");
+    let items: Vec<u64> = (0..256).collect();
+    let work = |x: u64| {
+        let mut acc = x;
+        for i in 0..2_000u64 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        acc
+    };
+    g.bench_function("sequential_map", |b| {
+        b.iter(|| items.iter().map(|&x| work(x)).collect::<Vec<_>>());
+    });
+    for width in [1usize, 4] {
+        let exec = Executor::new(width);
+        g.bench_function(BenchmarkId::new("pool", format!("w{width}")), |b| {
+            b.iter(|| exec.par_map(items.clone(), work));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_chunker_offload, bench_par_map_overhead);
+criterion_main!(benches);

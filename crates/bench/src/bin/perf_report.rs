@@ -14,16 +14,29 @@
 //!    asserting byte-identical fingerprints (the overhaul is
 //!    observationally pure) and a >= 1.3x end-to-end speedup;
 //! 3. the chaos acceptance scenario (audit must pass);
-//! 4. chunker, LZSS, and broker fan-out micro-timings.
+//! 4. chunker, LZSS, and broker fan-out micro-timings;
+//! 5. a scaling sweep over the `rai-exec` pool (parallelism 1/2/4/8):
+//!    single-run semester wall at each width (fingerprints must be
+//!    byte-identical to the width-1 reference) and a replica fan-out
+//!    measure — four independent semester replicas `par_map`'d across
+//!    the pool, the workload shape that actually exposes multi-core
+//!    speedup (single-run semester payloads sit below the 32 KiB
+//!    offload threshold, so its wall is parallelism-insensitive by
+//!    design).
 //!
 //! Check mode (`--check`, the CI smoke job) re-runs the semester and
-//! chaos scenarios, verifies the committed `BENCH_perf.json` schema,
-//! asserts the fingerprints still match the committed values exactly,
-//! and fails if semester wall-clock regressed more than 25% over the
-//! committed baseline. It writes nothing.
+//! chaos scenarios at the requested pool width (`--parallelism N`,
+//! default 1), verifies the committed `BENCH_perf.json` schema,
+//! asserts the fingerprints still match the committed values exactly
+//! (the committed fingerprints were recorded at width 1, so this *is*
+//! the cross-width determinism gate), and fails if semester wall-clock
+//! regressed more than 25% over the committed baseline. When the
+//! requested width and the host both have >= 4 cores it re-measures
+//! the replica fan-out at widths 1 and 4 and enforces the >= 1.5x
+//! speedup floor. It writes nothing.
 //!
 //! ```text
-//! cargo run --release -p rai-bench --bin perf_report [--check] [seed]
+//! cargo run --release -p rai-bench --bin perf_report [--check] [--parallelism N] [seed]
 //! ```
 //!
 //! The JSON schema is documented in EXPERIMENTS.md. Fingerprints are
@@ -34,6 +47,7 @@ use rai_archive::chunk::{chunk_bytes, ChunkerParams};
 use rai_archive::lzss;
 use rai_broker::Broker;
 use rai_db::{doc, Collection};
+use rai_exec::Executor;
 use rai_workload::chaos::{run_chaos, ChaosConfig, ChaosResult};
 use rai_workload::semester::{run_semester, SemesterConfig, SemesterResult};
 use std::time::Instant;
@@ -49,6 +63,23 @@ const MAX_WALL_DRIFT: f64 = 1.25;
 /// Floors asserted in write mode (ISSUE acceptance criteria).
 const MIN_E2E_SPEEDUP: f64 = 1.3;
 const MIN_MICRO_SPEEDUP: f64 = 2.0;
+
+/// Pool widths swept by the scaling section.
+const SCALING_LEVELS: [usize; 4] = [1, 2, 4, 8];
+/// Independent semester replicas fanned out per width.
+const REPLICAS: usize = 4;
+/// Replica scale — small enough that the sweep stays a smoke job.
+const REPLICA_TEAMS: usize = 6;
+const REPLICA_DAYS: u64 = 10;
+/// Replica fan-out speedup floor at width 4 vs 1, enforced whenever
+/// the host actually has >= 4 cores to scale onto.
+const MIN_FANOUT_SPEEDUP: f64 = 1.5;
+
+fn host_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
 
 struct Timed<T> {
     result: T,
@@ -179,6 +210,90 @@ fn broker_fanout_micro() -> f64 {
     (CHANNELS * MESSAGES) as f64 / t.wall
 }
 
+// -------------------------------------------------------------- scaling
+
+struct ScalingLevel {
+    parallelism: usize,
+    semester_wall: f64,
+    fanout_wall: f64,
+}
+
+/// Fan `REPLICAS` independent semester replicas (distinct seeds, each a
+/// pure function of its config) across a `width`-worker pool and return
+/// (wall, per-replica fingerprints). The fingerprint vector must be
+/// identical at every width — that is asserted by the callers.
+fn replica_fanout(width: usize, seed: u64) -> Timed<Vec<u64>> {
+    let exec = Executor::new(width);
+    timed(|| {
+        exec.par_map((0..REPLICAS as u64).collect(), |i: u64| {
+            run_semester(&SemesterConfig::scaled(
+                REPLICA_TEAMS,
+                REPLICA_DAYS,
+                seed ^ (i << 8),
+            ))
+            .fingerprint()
+        })
+    })
+}
+
+/// The write-mode scaling sweep. Asserts single-run semester
+/// fingerprints and replica fingerprint vectors are byte-identical at
+/// every width; returns the per-width walls.
+fn scaling_sweep(seed: u64, reference_fp: u64) -> Vec<ScalingLevel> {
+    let mut levels = Vec::new();
+    let mut reference_replicas: Option<Vec<u64>> = None;
+    for &width in &SCALING_LEVELS {
+        let cfg = SemesterConfig::scaled(TEAMS, DAYS, seed).with_parallelism(width);
+        let semester = timed(|| run_semester(&cfg));
+        assert_eq!(
+            semester.result.fingerprint(),
+            reference_fp,
+            "semester fingerprint diverged at parallelism {width}"
+        );
+        let fanout = replica_fanout(width, seed);
+        match &reference_replicas {
+            None => reference_replicas = Some(fanout.result.clone()),
+            Some(reference) => assert_eq!(
+                reference, &fanout.result,
+                "replica fingerprints diverged at parallelism {width}"
+            ),
+        }
+        levels.push(ScalingLevel {
+            parallelism: width,
+            semester_wall: semester.wall,
+            fanout_wall: fanout.wall,
+        });
+    }
+    levels
+}
+
+fn fanout_speedup_at_4(levels: &[ScalingLevel]) -> f64 {
+    let wall_at = |p: usize| {
+        levels
+            .iter()
+            .find(|l| l.parallelism == p)
+            .expect("swept width")
+            .fanout_wall
+    };
+    wall_at(1) / wall_at(4)
+}
+
+/// Enforce the replica fan-out floor — a real multi-core speedup gate,
+/// armed only when the host has the cores to show one.
+fn assert_fanout_floor(speedup: f64, cpus: usize) {
+    if cpus >= 4 {
+        assert!(
+            speedup >= MIN_FANOUT_SPEEDUP,
+            "replica fan-out speedup {speedup:.2}x at parallelism 4 below the \
+             {MIN_FANOUT_SPEEDUP}x floor on a {cpus}-core host"
+        );
+    } else {
+        println!(
+            "  (fan-out floor dormant: host has {cpus} core(s), needs >= 4 to scale)"
+        );
+    }
+}
+
 // ----------------------------------------------------------------- json
 
 struct Report {
@@ -191,6 +306,8 @@ struct Report {
     chunker_mib_s: f64,
     lzss_mib_s: f64,
     fanout_msgs_s: f64,
+    scaling: Vec<ScalingLevel>,
+    host_cpus: usize,
 }
 
 fn render(r: &Report) -> String {
@@ -198,7 +315,7 @@ fn render(r: &Report) -> String {
     let chaos = &r.chaos.result;
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"rai-perf-bench/1\",\n");
+    out.push_str("  \"schema\": \"rai-perf-bench/2\",\n");
     out.push_str(&format!("  \"seed\": {},\n", r.seed));
     out.push_str("  \"reference\": {\n");
     out.push_str(
@@ -268,6 +385,47 @@ fn render(r: &Report) -> String {
         "    \"broker_fanout_msgs_per_sec\": {:.0}\n",
         r.fanout_msgs_s
     ));
+    out.push_str("  },\n");
+    out.push_str("  \"scaling\": {\n");
+    out.push_str(&format!("    \"host_cpus\": {},\n", r.host_cpus));
+    out.push_str(&format!("    \"replicas\": {REPLICAS},\n"));
+    out.push_str(&format!(
+        "    \"replica_scale\": \"{REPLICA_TEAMS} teams x {REPLICA_DAYS} days\",\n"
+    ));
+    out.push_str("    \"levels\": [\n");
+    for (i, l) in r.scaling.iter().enumerate() {
+        let sem = &r.semester.result;
+        out.push_str(&format!(
+            "      {{ \"parallelism\": {}, \"semester_wall_secs\": {:.4}, \"semester_throughput_sub_per_sec\": {:.1}, \"replica_fanout_wall_secs\": {:.4} }}{}\n",
+            l.parallelism,
+            l.semester_wall,
+            sem.total_submissions as f64 / l.semester_wall,
+            l.fanout_wall,
+            if i + 1 < r.scaling.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("    ],\n");
+    let semester_wall_at = |p: usize| {
+        r.scaling
+            .iter()
+            .find(|l| l.parallelism == p)
+            .expect("swept width")
+            .semester_wall
+    };
+    out.push_str(&format!(
+        "    \"semester_speedup_at_4\": {:.2},\n",
+        semester_wall_at(1) / semester_wall_at(4)
+    ));
+    out.push_str(&format!(
+        "    \"replica_fanout_speedup_at_4\": {:.2},\n",
+        fanout_speedup_at_4(&r.scaling)
+    ));
+    out.push_str(&format!(
+        "    \"floor\": \"replica_fanout_speedup_at_4 >= {MIN_FANOUT_SPEEDUP} enforced when host_cpus >= 4\",\n"
+    ));
+    out.push_str(
+        "    \"note\": \"fingerprints are byte-identical at every width; single-run semester payloads sit below the 32 KiB offload threshold, so its wall is width-insensitive by design and the replica fan-out is the multi-core measure\"\n",
+    );
     out.push_str("  }\n");
     out.push_str("}\n");
     out
@@ -296,61 +454,129 @@ fn extract<'a>(json: &'a str, section: &str, key: &str) -> &'a str {
 
 // ----------------------------------------------------------------- main
 
-fn check(seed: u64) {
+fn check(seed: u64, parallelism: usize) {
     let committed =
         std::fs::read_to_string("BENCH_perf.json").expect("read committed BENCH_perf.json");
     let schema = extract(&committed, "schema", "schema");
-    assert_eq!(schema, "rai-perf-bench/1", "unexpected schema");
+    assert_eq!(schema, "rai-perf-bench/2", "unexpected schema");
     let committed_sem_fp = extract(&committed, "semester", "fingerprint").to_string();
     let committed_chaos_fp = extract(&committed, "chaos", "fingerprint").to_string();
     let committed_wall: f64 = extract(&committed, "semester", "wall_secs")
         .parse()
         .expect("semester wall_secs is a number");
+    // The scaling section must be present and well-formed; the
+    // committed speedup only gates when the *recording* machine had
+    // the cores to show one.
+    let committed_cpus: usize = extract(&committed, "scaling", "host_cpus")
+        .parse()
+        .expect("scaling host_cpus is a number");
+    let committed_fanout: f64 = extract(&committed, "scaling", "replica_fanout_speedup_at_4")
+        .parse()
+        .expect("scaling replica_fanout_speedup_at_4 is a number");
+    if committed_cpus >= 4 {
+        assert!(
+            committed_fanout >= MIN_FANOUT_SPEEDUP,
+            "committed replica fan-out speedup {committed_fanout:.2}x below the \
+             {MIN_FANOUT_SPEEDUP}x floor (recorded on a {committed_cpus}-core host)"
+        );
+    }
 
     // Wall-clock is noisy (cold caches, co-tenant load): take the best
     // of up to three runs, stopping early once one lands in the band.
-    // Fingerprints are exact and must match on every run.
+    // Fingerprints are exact and must match on every run — the
+    // committed values were recorded at width 1, so re-running at the
+    // requested width is the cross-width determinism gate.
     let mut best_wall = f64::INFINITY;
     for _ in 0..3 {
-        let semester = timed(|| run_semester(&SemesterConfig::scaled(TEAMS, DAYS, seed)));
+        let semester = timed(|| {
+            run_semester(&SemesterConfig::scaled(TEAMS, DAYS, seed).with_parallelism(parallelism))
+        });
         let sem_fp = format!("{:#018x}", semester.result.fingerprint());
         assert_eq!(
             sem_fp, committed_sem_fp,
-            "semester fingerprint drifted from the committed baseline"
+            "semester fingerprint at parallelism {parallelism} drifted from the committed baseline"
         );
         best_wall = best_wall.min(semester.wall);
         if best_wall <= committed_wall * MAX_WALL_DRIFT {
             break;
         }
     }
-    let chaos = timed(|| run_chaos(&ChaosConfig::acceptance(seed)));
+    let chaos = timed(|| {
+        run_chaos(&ChaosConfig::acceptance(seed).with_parallelism(parallelism))
+    });
     chaos.result.verify().expect("chaos audit");
     let chaos_fp = format!("{:#018x}", chaos.result.fingerprint);
     assert_eq!(
         chaos_fp, committed_chaos_fp,
-        "chaos fingerprint drifted from the committed baseline"
+        "chaos fingerprint at parallelism {parallelism} drifted from the committed baseline"
     );
-    assert!(
-        best_wall <= committed_wall * MAX_WALL_DRIFT,
-        "semester wall {best_wall:.3}s (best of 3) regressed more than {:.0}% over committed {committed_wall:.3}s",
-        (MAX_WALL_DRIFT - 1.0) * 100.0,
-    );
-    println!(
-        "perf check: fingerprints match ({committed_sem_fp} / {chaos_fp}), wall {best_wall:.3}s within {:.0}% of committed {committed_wall:.3}s",
-        (MAX_WALL_DRIFT - 1.0) * 100.0,
-    );
+    // The drift band gates the reference configuration only: at width
+    // > 1 an under-provisioned host pays pool-parking overhead that
+    // says nothing about a code regression (the width-1 CI job already
+    // guards the wall; this job guards fingerprints and the floor).
+    if parallelism == 1 {
+        assert!(
+            best_wall <= committed_wall * MAX_WALL_DRIFT,
+            "semester wall {best_wall:.3}s (best of 3) regressed more than {:.0}% over committed {committed_wall:.3}s",
+            (MAX_WALL_DRIFT - 1.0) * 100.0,
+        );
+    }
+
+    // Live scaling floor: when asked to check a multi-core width on a
+    // multi-core host, the fan-out speedup must still be there — not
+    // just in the committed file.
+    if parallelism >= 4 {
+        let cpus = host_cpus();
+        let sequential = replica_fanout(1, seed);
+        let pooled = replica_fanout(4, seed);
+        assert_eq!(
+            sequential.result, pooled.result,
+            "replica fingerprints diverged between widths 1 and 4"
+        );
+        let speedup = sequential.wall / pooled.wall;
+        println!(
+            "perf check: replica fan-out {:.3}s -> {:.3}s ({speedup:.2}x) on {cpus} core(s)",
+            sequential.wall, pooled.wall
+        );
+        assert_fanout_floor(speedup, cpus);
+    }
+
+    if parallelism == 1 {
+        println!(
+            "perf check: fingerprints match ({committed_sem_fp} / {chaos_fp}) at parallelism 1, wall {best_wall:.3}s within {:.0}% of committed {committed_wall:.3}s",
+            (MAX_WALL_DRIFT - 1.0) * 100.0,
+        );
+    } else {
+        println!(
+            "perf check: fingerprints match ({committed_sem_fp} / {chaos_fp}) at parallelism {parallelism}, wall {best_wall:.3}s (committed {committed_wall:.3}s, drift gated by the width-1 job)"
+        );
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let check_mode = args.iter().any(|a| a == "--check");
+    let parallelism: usize = args
+        .iter()
+        .position(|a| a == "--parallelism")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--parallelism takes a positive integer"))
+        .unwrap_or(1);
     let seed: u64 = args
         .iter()
-        .find_map(|a| a.parse().ok())
+        .enumerate()
+        .filter(|(i, _)| {
+            // Skip the --parallelism value; any other bare integer is
+            // the seed.
+            !args
+                .get(i.wrapping_sub(1))
+                .is_some_and(|prev| prev == "--parallelism")
+        })
+        .find_map(|(_, a)| a.parse().ok())
         .unwrap_or(2016);
 
     if check_mode {
-        check(seed);
+        check(seed, parallelism);
         return;
     }
 
@@ -409,6 +635,19 @@ fn main() {
     println!("  lzss compress               {lzss_mib_s:.0} MiB/s");
     println!("  broker fan-out (16ch)       {fanout_msgs_s:.0} msg/s");
 
+    let cpus = host_cpus();
+    let scaling = scaling_sweep(seed, semester.result.fingerprint());
+    println!("  scaling ({cpus} host core(s), {REPLICAS} replicas of {REPLICA_TEAMS} teams x {REPLICA_DAYS} days)");
+    for l in &scaling {
+        println!(
+            "    parallelism {}: semester {:.3}s, replica fan-out {:.3}s",
+            l.parallelism, l.semester_wall, l.fanout_wall
+        );
+    }
+    let fanout_speedup = fanout_speedup_at_4(&scaling);
+    println!("    replica fan-out speedup   {fanout_speedup:.2}x at parallelism 4");
+    assert_fanout_floor(fanout_speedup, cpus);
+
     // The observational-purity gate: the planner, broker, chunker, and
     // store optimisations must not change a single observable byte.
     assert_eq!(
@@ -435,6 +674,8 @@ fn main() {
         chunker_mib_s,
         lzss_mib_s,
         fanout_msgs_s,
+        scaling,
+        host_cpus: cpus,
     };
     std::fs::write("BENCH_perf.json", render(&report)).expect("write BENCH_perf.json");
     println!(

@@ -10,7 +10,8 @@
 //! bytes instead of the whole archive — the paper's dominant workload
 //! (30 782 submissions in the final two weeks, most of them retries).
 
-use rai_archive::chunk::{chunk_bytes, Chunk, ChunkerParams};
+use rai_archive::chunk::{chunk_bytes_on, Chunk, ChunkerParams};
+use rai_exec::Executor;
 use rai_store::{ObjectStore, StoreError};
 use std::collections::{BTreeMap, HashSet};
 use std::sync::Mutex;
@@ -50,6 +51,10 @@ impl DeltaReceipt {
 pub struct DeltaUploader {
     params: ChunkerParams,
     cache: Mutex<HashSet<u64>>,
+    /// Executor the chunk/digest pass runs on. Sequential by default;
+    /// a pool routes the re-hash of payload bytes across workers
+    /// (DESIGN.md §12) without changing a single manifest byte.
+    executor: Executor,
 }
 
 impl Default for DeltaUploader {
@@ -61,9 +66,15 @@ impl Default for DeltaUploader {
 impl DeltaUploader {
     /// An uploader with the store's default chunker parameters.
     pub fn new() -> Self {
+        Self::with_executor(Executor::sequential())
+    }
+
+    /// An uploader whose chunking + digesting runs on `exec`.
+    pub fn with_executor(executor: Executor) -> Self {
         DeltaUploader {
             params: ChunkerParams::DEFAULT,
             cache: Mutex::new(HashSet::new()),
+            executor,
         }
     }
 
@@ -86,7 +97,7 @@ impl DeltaUploader {
         payload: &[u8],
         user_meta: impl IntoIterator<Item = (String, String)>,
     ) -> Result<DeltaReceipt, StoreError> {
-        let (manifest, chunks) = chunk_bytes(payload, self.params);
+        let (manifest, chunks) = chunk_bytes_on(&self.executor, payload, self.params);
         let by_digest: BTreeMap<u64, &Chunk> = chunks.iter().map(|c| (c.digest, c)).collect();
         let user_meta: Vec<(String, String)> = user_meta.into_iter().collect();
 
@@ -225,6 +236,31 @@ mod tests {
         assert_eq!(err, StoreError::Unavailable);
         // Next attempt succeeds (budget exhausted).
         assert!(up.upload(&s, "b", "k", &payload(1000, 5), []).is_ok());
+    }
+
+    #[test]
+    fn pool_uploader_matches_sequential_receipts() {
+        // Large enough to clear the parallel chunking threshold, so
+        // the pool path really runs — receipts and stored bytes must
+        // be identical to the sequential reference at every width.
+        let base = payload(96_000, 7);
+        let mut edited = base.clone();
+        edited[48_000] ^= 0x5A;
+        let reference = {
+            let s = store();
+            let up = DeltaUploader::new();
+            let r1 = up.upload(&s, "b", "v1", &base, []).unwrap();
+            let r2 = up.upload(&s, "b", "v2", &edited, []).unwrap();
+            (r1, r2)
+        };
+        for threads in [2, 8] {
+            let s = store();
+            let up = DeltaUploader::with_executor(Executor::new(threads));
+            let r1 = up.upload(&s, "b", "v1", &base, []).unwrap();
+            let r2 = up.upload(&s, "b", "v2", &edited, []).unwrap();
+            assert_eq!((r1, r2), reference, "receipt drift at threads={threads}");
+            assert_eq!(s.get("b", "v2").unwrap().data.as_ref(), &edited[..]);
+        }
     }
 
     #[test]

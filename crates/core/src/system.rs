@@ -15,6 +15,7 @@ use rai_auth::{Credentials, CredentialRegistry, KeyGenerator};
 use rai_broker::{Broker, BrokerConfig, BrokerStats};
 use rai_faults::{CrashKind, FaultInjector, FaultPlan, RetryPolicy};
 use rai_db::{doc, Database};
+use rai_exec::Executor;
 use rai_sandbox::{ImageRegistry, ResourceLimits};
 use rai_sim::{SimDuration, VirtualClock};
 use rai_store::{LifecycleRule, ObjectStore, StoreUsage};
@@ -51,6 +52,15 @@ pub struct SystemConfig {
     /// pre-overhaul behaviour, kept as `perf_report`'s reference run.
     /// Results are identical either way; only wall-clock differs.
     pub db_hot_indexes: bool,
+    /// Width of the [`rai_exec::Executor`] the payload pipeline
+    /// (chunking, digesting, chunk validation) runs on. `1` keeps
+    /// every transform inline on the event loop — the preserved
+    /// reference configuration — while `N > 1` stands up an N-worker
+    /// work-stealing pool. Offloaded work is pure and joined in input
+    /// order, so results (and `SemesterResult::fingerprint()`) are
+    /// byte-identical at every setting; only wall-clock differs
+    /// (DESIGN.md §12).
+    pub parallelism: usize,
 }
 
 impl Default for SystemConfig {
@@ -65,6 +75,7 @@ impl Default for SystemConfig {
             broker_attempts: 8,
             fault_plan: None,
             db_hot_indexes: true,
+            parallelism: 1,
         }
     }
 }
@@ -99,6 +110,7 @@ pub struct RaiSystem {
     sessions: SessionBroker,
     telemetry: Telemetry,
     injector: Option<FaultInjector>,
+    executor: Executor,
 }
 
 /// In-flight timeout used when a stalled worker holds a claim: the
@@ -122,7 +134,12 @@ impl RaiSystem {
             },
             clock.clone(),
         );
+        // One pool for the whole deployment: client uploads, worker
+        // uploads and server-side validation share it, mirroring how a
+        // real host's cores are shared across the pipeline.
+        let executor = Executor::new(config.parallelism);
         let store = ObjectStore::new(clock.clone());
+        store.set_executor(executor.clone());
         store
             .create_bucket(UPLOAD_BUCKET, LifecycleRule::one_month_after_last_use())
             .expect("fresh store");
@@ -169,6 +186,7 @@ impl RaiSystem {
                     images.clone(),
                 );
                 w.set_telemetry(telemetry.clone());
+                w.set_executor(executor.clone());
                 if let Some(inj) = &injector {
                     w.set_fault_injector(inj.clone());
                 }
@@ -241,6 +259,7 @@ impl RaiSystem {
             sessions: SessionBroker::new(images2),
             telemetry,
             injector,
+            executor,
         }
     }
 
@@ -284,6 +303,7 @@ impl RaiSystem {
             self.store.clone(),
             self.next_job_id.clone(),
         )
+        .with_executor(self.executor.clone())
     }
 
     fn check_rate(&self, creds: &Credentials) -> Result<(), SubmitError> {
@@ -433,6 +453,12 @@ impl RaiSystem {
     /// The attached fault injector, when a fault plan is active.
     pub fn fault_injector(&self) -> Option<&FaultInjector> {
         self.injector.as_ref()
+    }
+
+    /// The executor the payload pipeline runs on (sequential when
+    /// `parallelism <= 1`).
+    pub fn executor(&self) -> &Executor {
+        &self.executor
     }
 
     /// Direct worker access (ablation experiments).

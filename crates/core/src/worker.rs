@@ -185,6 +185,14 @@ impl Worker {
         self.injector = Some(injector);
     }
 
+    /// Route this worker's `/build` chunking + digesting onto `exec`.
+    /// Call before traffic flows: the replacement uploader starts with
+    /// an empty digest cache (as at worker boot), and uploads are
+    /// byte-identical at any parallelism (DESIGN.md §12).
+    pub fn set_executor(&mut self, exec: rai_exec::Executor) {
+        self.delta = DeltaUploader::with_executor(exec);
+    }
+
     /// This worker's id.
     pub fn id(&self) -> &str {
         &self.config.worker_id

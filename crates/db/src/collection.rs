@@ -423,10 +423,16 @@ impl Collection {
     }
 
     /// Distinct values of `field` among matching documents.
+    ///
+    /// Uses the same index-driven candidate planning as `find`/`count`
+    /// (both paths visit ids in `_id` order, so the surviving
+    /// loose-equality representative is identical either way), and
+    /// clones only the distinct values — never a document.
     pub fn distinct(&self, field: &str, query: &Document) -> Vec<Value> {
         self.queries.fetch_add(1, Ordering::Relaxed);
         let mut out: Vec<Value> = Vec::new();
-        for d in self.docs.values().filter(|d| matches(query, d)) {
+        for id in self.matching_ids(query) {
+            let d = self.docs.get(&id).expect("matching id has a doc");
             if let Some(v) = d.get_path(field) {
                 if !out.iter().any(|x| x.eq_loose(v)) {
                     out.push(v.clone());
@@ -663,6 +669,24 @@ mod tests {
         let c = rankings();
         let finals = c.distinct("final", &Document::new());
         assert_eq!(finals, vec![Value::Bool(false), Value::Bool(true)]);
+    }
+
+    #[test]
+    fn distinct_uses_the_planner_and_matches_the_scan() {
+        let mut with_idx = rankings();
+        with_idx.create_index("final");
+        let without_idx = rankings();
+        for q in [
+            doc! { "final" => true },
+            doc! { "final" => false },
+            doc! { "final" => doc!{ "$gt" => 200.0 } },
+        ] {
+            assert_eq!(
+                with_idx.distinct("team", &q),
+                without_idx.distinct("team", &q),
+                "indexed vs scan distinct mismatch for {q}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,670 @@
+//! Deterministic work-stealing executor for RAI's payload pipeline.
+//!
+//! The discrete-event engine stays single-threaded on purpose — event
+//! order *is* the simulation — but the byte-crunching it triggers
+//! (Gear chunking, FNV digesting, LZSS batches, chunk validation) is
+//! pure: output depends only on the input bytes. This crate provides
+//! the pool those pure transforms run on, built from scratch because
+//! the build environment has no registry access (same convention as
+//! the `compat/` shims).
+//!
+//! Three pieces:
+//!
+//! - [`Executor`] — a cheaply clonable handle, either *sequential*
+//!   (`parallelism <= 1`, every task runs inline on the caller; the
+//!   preserved reference configuration) or a *pool* of N workers with
+//!   per-worker deques plus a shared injector queue. Owners push and
+//!   pop the back of their own deque (LIFO, cache-warm); thieves and
+//!   the injector drain from the front (FIFO).
+//! - [`Executor::scope`] — structured spawning: tasks may borrow from
+//!   the caller's stack, the scope joins every spawned task before it
+//!   returns (even when the closure panics), and the first task panic
+//!   is re-thrown at the join point.
+//! - [`Executor::par_map`] — ordered data parallelism: results come
+//!   back in **input order** regardless of completion order, which is
+//!   what makes offloading safe for the determinism gate
+//!   (`SemesterResult::fingerprint()` must be byte-identical at every
+//!   thread count; see DESIGN.md §12).
+//!
+//! Threads that join a scope *help*: while waiting they pull pending
+//! tasks off the pool and run them, so nested scopes make progress
+//! even on a one-worker pool (and on a one-core host).
+
+use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::cell::{Cell, UnsafeCell};
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A type-erased unit of work queued on the pool.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+thread_local! {
+    /// `(pool identity, worker index)` for pool worker threads, so a
+    /// task spawning sub-tasks pushes onto its own deque instead of
+    /// the shared injector.
+    static CURRENT_WORKER: Cell<Option<(usize, usize)>> = const { Cell::new(None) };
+}
+
+// ------------------------------------------------------------ Executor
+
+/// Handle to an execution strategy: inline sequential or a
+/// work-stealing pool. Clones share the same pool.
+#[derive(Clone)]
+pub struct Executor {
+    inner: Arc<Inner>,
+}
+
+enum Inner {
+    /// `parallelism <= 1`: tasks run inline on the calling thread, in
+    /// spawn order. This is the preserved reference configuration the
+    /// determinism gate compares against.
+    Sequential,
+    Pool(Pool),
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor::sequential()
+    }
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("parallelism", &self.parallelism())
+            .finish()
+    }
+}
+
+impl Executor {
+    /// An executor that runs every task inline on the caller thread.
+    pub fn sequential() -> Self {
+        Executor {
+            inner: Arc::new(Inner::Sequential),
+        }
+    }
+
+    /// An executor with `parallelism` worker threads; `<= 1` yields
+    /// the sequential executor (no threads spawned at all).
+    pub fn new(parallelism: usize) -> Self {
+        if parallelism <= 1 {
+            return Executor::sequential();
+        }
+        Executor {
+            inner: Arc::new(Inner::Pool(Pool::start(parallelism))),
+        }
+    }
+
+    /// Number of threads tasks may run on (1 for sequential).
+    pub fn parallelism(&self) -> usize {
+        match &*self.inner {
+            Inner::Sequential => 1,
+            Inner::Pool(p) => p.shared.deques.len(),
+        }
+    }
+
+    /// True when every task runs inline on the caller thread.
+    pub fn is_sequential(&self) -> bool {
+        matches!(&*self.inner, Inner::Sequential)
+    }
+
+    /// Run `f` with a [`Scope`] that can spawn borrowing tasks.
+    ///
+    /// Every spawned task is joined before `scope` returns — including
+    /// when `f` itself panics, so tasks never outlive the borrows they
+    /// capture. Panics propagate: `f`'s own panic first, otherwise the
+    /// first task panic, re-thrown here.
+    pub fn scope<'env, F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'env, '_>) -> R,
+    {
+        let state = Arc::new(ScopeState::new());
+        let result = {
+            let scope = Scope {
+                exec: self,
+                state: &state,
+                _env: PhantomData,
+            };
+            panic::catch_unwind(AssertUnwindSafe(|| f(&scope)))
+        };
+        // Join before looking at `result`: tasks may borrow stack data
+        // that `f`'s unwinding would otherwise free under them.
+        self.join_scope(&state);
+        let task_panic = state.lock.lock().panic.take();
+        match result {
+            Err(p) => panic::resume_unwind(p),
+            Ok(r) => {
+                if let Some(p) = task_panic {
+                    panic::resume_unwind(p);
+                }
+                r
+            }
+        }
+    }
+
+    /// Map `f` over `items`, returning results in **input order**
+    /// regardless of which worker finishes first. For a pure `f` the
+    /// output is byte-identical to `items.into_iter().map(f)` at any
+    /// parallelism — the property the determinism gate relies on.
+    pub fn par_map<T, U, F>(&self, items: Vec<T>, f: F) -> Vec<U>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        if self.is_sequential() || items.len() <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let slots = SlotVec::new(items.len());
+        self.scope(|s| {
+            for (i, item) in items.into_iter().enumerate() {
+                let slots = &slots;
+                let f = &f;
+                s.spawn(move || slots.set(i, f(item)));
+            }
+        });
+        slots.into_vec()
+    }
+
+    /// Pull one pending job off the pool, if any: injector first, then
+    /// steal from the front of any worker deque. Used by joining
+    /// threads to help instead of blocking.
+    fn try_pop_job(&self) -> Option<Job> {
+        match &*self.inner {
+            Inner::Sequential => None,
+            Inner::Pool(p) => p.shared.pop_external(),
+        }
+    }
+
+    /// Block (helping) until every task of `state` has finished.
+    fn join_scope(&self, state: &Arc<ScopeState>) {
+        loop {
+            if state.lock.lock().pending == 0 {
+                return;
+            }
+            if let Some(job) = self.try_pop_job() {
+                run_job(job);
+                continue;
+            }
+            let mut g = state.lock.lock();
+            if g.pending == 0 {
+                return;
+            }
+            // Short timeout: a task spawned from a worker thread may
+            // enqueue follow-up work onto its own deque without a
+            // wakeup reaching us; re-polling bounds that race.
+            state.done.wait_for(&mut g, Duration::from_millis(1));
+        }
+    }
+}
+
+/// Run one job, containing any panic: the scope wrapper inside the job
+/// has already captured the payload for re-throw at the join point,
+/// so the worker (or helping joiner) must survive the unwind.
+fn run_job(job: Job) {
+    let _ = panic::catch_unwind(AssertUnwindSafe(job));
+}
+
+// --------------------------------------------------------------- Scope
+
+/// Spawning handle passed to the closure of [`Executor::scope`].
+///
+/// `'env` is the lifetime of borrows the spawned tasks may capture;
+/// it is invariant (same trick as `std::thread::scope`) so tasks can
+/// borrow both shared and mutable state safely.
+pub struct Scope<'env, 'scope> {
+    exec: &'scope Executor,
+    state: &'scope Arc<ScopeState>,
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+struct ScopeState {
+    lock: Mutex<ScopeInner>,
+    done: Condvar,
+}
+
+struct ScopeInner {
+    pending: usize,
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+impl ScopeState {
+    fn new() -> Self {
+        ScopeState {
+            lock: Mutex::new(ScopeInner {
+                pending: 0,
+                panic: None,
+            }),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Record a finished task, capturing the first panic payload.
+    fn complete(&self, panic: Option<Box<dyn Any + Send>>) {
+        let mut g = self.lock.lock();
+        if let Some(p) = panic {
+            if g.panic.is_none() {
+                g.panic = Some(p);
+            }
+        }
+        g.pending -= 1;
+        if g.pending == 0 {
+            self.done.notify_all();
+        }
+    }
+}
+
+impl<'env> Scope<'env, '_> {
+    /// Spawn a task that may borrow from the enclosing scope.
+    ///
+    /// On a pool the task runs on whichever worker gets to it first;
+    /// on the sequential executor it runs inline, immediately, in
+    /// spawn order. A panicking task does not abort its siblings —
+    /// the payload is re-thrown when the scope joins.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        match &*self.exec.inner {
+            Inner::Sequential => {
+                // Inline, but with pool-identical panic semantics:
+                // capture the payload, keep running later spawns.
+                if let Err(p) = panic::catch_unwind(AssertUnwindSafe(f)) {
+                    let mut g = self.state.lock.lock();
+                    if g.panic.is_none() {
+                        g.panic = Some(p);
+                    }
+                }
+            }
+            Inner::Pool(pool) => {
+                self.state.lock.lock().pending += 1;
+                let state = Arc::clone(self.state);
+                let task = move || {
+                    let result = panic::catch_unwind(AssertUnwindSafe(f));
+                    state.complete(result.err());
+                };
+                let job: Box<dyn FnOnce() + Send + 'env> = Box::new(task);
+                // SAFETY: the scope joins every spawned task before it
+                // returns (even when the scope closure panics), so the
+                // job cannot outlive 'env despite the erased lifetime.
+                let job: Job = unsafe {
+                    std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(job)
+                };
+                pool.shared.push(job);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- Pool
+
+struct Pool {
+    shared: Arc<Shared>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+struct Shared {
+    /// Queue for tasks submitted from outside the pool.
+    injector: Mutex<VecDeque<Job>>,
+    /// Per-worker deques: owner pushes/pops the back, thieves steal
+    /// the front.
+    deques: Vec<Mutex<VecDeque<Job>>>,
+    /// Parks idle workers; paired with the `injector` mutex.
+    idle: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Pool identity for the worker-thread thread-local.
+    fn id(self: &Arc<Self>) -> usize {
+        Arc::as_ptr(self) as usize
+    }
+
+    /// Enqueue a job: onto the current worker's own deque when called
+    /// from inside this pool, onto the injector otherwise.
+    fn push(self: &Arc<Self>, job: Job) {
+        let local = CURRENT_WORKER.with(|c| c.get());
+        match local {
+            Some((pool_id, idx)) if pool_id == self.id() => {
+                self.deques[idx].lock().push_back(job);
+            }
+            _ => self.injector.lock().push_back(job),
+        }
+        self.idle.notify_one();
+    }
+
+    /// Dequeue for worker `idx`: own deque back (LIFO), then injector
+    /// front, then steal the front of the other deques.
+    fn pop_worker(&self, idx: usize) -> Option<Job> {
+        if let Some(job) = self.deques[idx].lock().pop_back() {
+            return Some(job);
+        }
+        if let Some(job) = self.injector.lock().pop_front() {
+            return Some(job);
+        }
+        self.steal(idx)
+    }
+
+    /// Dequeue for a non-worker (a joining thread helping): injector
+    /// front, then steal.
+    fn pop_external(&self) -> Option<Job> {
+        if let Some(job) = self.injector.lock().pop_front() {
+            return Some(job);
+        }
+        self.steal(usize::MAX)
+    }
+
+    fn steal(&self, not: usize) -> Option<Job> {
+        for (i, deque) in self.deques.iter().enumerate() {
+            if i == not {
+                continue;
+            }
+            if let Some(mut g) = deque.try_lock() {
+                if let Some(job) = g.pop_front() {
+                    return Some(job);
+                }
+            }
+        }
+        None
+    }
+
+    fn worker_loop(self: Arc<Self>, idx: usize) {
+        CURRENT_WORKER.with(|c| c.set(Some((self.id(), idx))));
+        loop {
+            if let Some(job) = self.pop_worker(idx) {
+                run_job(job);
+                continue;
+            }
+            let mut g = self.injector.lock();
+            if self.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            if !g.is_empty() {
+                continue;
+            }
+            // Timed park: pushes onto sibling deques race with this
+            // check (they notify before we sleep), so cap the nap and
+            // re-scan rather than risk sleeping through work.
+            self.idle.wait_for(&mut g, Duration::from_millis(2));
+        }
+    }
+}
+
+impl Pool {
+    fn start(parallelism: usize) -> Pool {
+        let shared = Arc::new(Shared {
+            injector: Mutex::new(VecDeque::new()),
+            deques: (0..parallelism)
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            idle: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let threads = (0..parallelism)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("rai-exec-{i}"))
+                    .spawn(move || shared.worker_loop(i))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Pool {
+            shared,
+            threads: Mutex::new(threads),
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.idle.notify_all();
+        for handle in self.threads.lock().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+// ------------------------------------------------------------- helpers
+
+/// Write-once result slots for [`Executor::par_map`]: each task fills
+/// exactly one index, so concurrent writes never alias.
+struct SlotVec<U> {
+    slots: Vec<UnsafeCell<Option<U>>>,
+}
+
+// SAFETY: distinct tasks write distinct indices exactly once and the
+// vector is only read after the scope joined every writer.
+unsafe impl<U: Send> Sync for SlotVec<U> {}
+
+impl<U> SlotVec<U> {
+    fn new(n: usize) -> Self {
+        SlotVec {
+            slots: (0..n).map(|_| UnsafeCell::new(None)).collect(),
+        }
+    }
+
+    fn set(&self, i: usize, value: U) {
+        // SAFETY: index `i` is owned by a single task (see par_map);
+        // no other thread reads or writes this slot until the join.
+        unsafe { *self.slots[i].get() = Some(value) }
+    }
+
+    fn into_vec(self) -> Vec<U> {
+        self.slots
+            .into_iter()
+            .map(|c| c.into_inner().expect("par_map slot filled"))
+            .collect()
+    }
+}
+
+/// Split `0..len` into at most `max_batches` contiguous ranges of
+/// near-equal length (longer ranges first), for callers that batch
+/// many tiny items into one task each — e.g. digesting 32-byte chunks,
+/// where a task per chunk would cost more than the hash.
+pub fn batch_ranges(len: usize, max_batches: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let batches = max_batches.max(1).min(len);
+    let base = len / batches;
+    let extra = len % batches;
+    let mut out = Vec::with_capacity(batches);
+    let mut start = 0;
+    for i in 0..batches {
+        let size = base + usize::from(i < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn sequential_runs_inline_in_spawn_order() {
+        let exec = Executor::sequential();
+        let order = Mutex::new(Vec::new());
+        exec.scope(|s| {
+            for i in 0..8 {
+                let order = &order;
+                s.spawn(move || order.lock().push(i));
+            }
+        });
+        assert_eq!(*order.lock(), (0..8).collect::<Vec<_>>());
+        assert_eq!(exec.parallelism(), 1);
+        assert!(exec.is_sequential());
+    }
+
+    #[test]
+    fn par_map_returns_input_order() {
+        let exec = Executor::new(4);
+        // Later items sleep less, so completion order inverts input
+        // order — results must come back in input order anyway.
+        let items: Vec<usize> = (0..32).collect();
+        let out = exec.par_map(items, |i| {
+            std::thread::sleep(Duration::from_micros(((32 - i) * 50) as u64));
+            i * 2
+        });
+        assert_eq!(out, (0..32).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_matches_sequential_map() {
+        let exec = Executor::new(8);
+        let seq = Executor::sequential();
+        let items: Vec<u64> = (0..1000).collect();
+        let f = |x: u64| x.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (x >> 3);
+        assert_eq!(exec.par_map(items.clone(), f), seq.par_map(items, f));
+    }
+
+    #[test]
+    fn zero_task_scope_returns_closure_value() {
+        for exec in [Executor::sequential(), Executor::new(2)] {
+            let value = exec.scope(|_| 42);
+            assert_eq!(value, 42);
+        }
+    }
+
+    #[test]
+    fn empty_par_map_yields_empty_vec() {
+        let exec = Executor::new(2);
+        let out: Vec<u32> = exec.par_map(Vec::<u32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn scope_panic_propagates() {
+        for exec in [Executor::sequential(), Executor::new(2)] {
+            let ran_after = AtomicUsize::new(0);
+            let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+                exec.scope(|s| {
+                    s.spawn(|| panic!("task boom"));
+                    s.spawn(|| {
+                        ran_after.fetch_add(1, Ordering::SeqCst);
+                    });
+                });
+            }));
+            assert!(caught.is_err(), "task panic must reach the scope caller");
+            // A panicking task must not abort its siblings.
+            assert_eq!(ran_after.load(Ordering::SeqCst), 1);
+        }
+    }
+
+    #[test]
+    fn par_map_panic_propagates() {
+        let exec = Executor::new(4);
+        let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+            exec.par_map((0..16).collect::<Vec<i32>>(), |i| {
+                if i == 7 {
+                    panic!("item boom");
+                }
+                i
+            })
+        }));
+        assert!(caught.is_err());
+        // The pool survives a panicking map and keeps working.
+        assert_eq!(exec.par_map(vec![1, 2, 3], |x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn closure_panic_beats_task_panic() {
+        let exec = Executor::new(2);
+        let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+            exec.scope(|s| {
+                s.spawn(|| panic!("task"));
+                panic!("closure");
+            })
+        }));
+        let payload = caught.unwrap_err();
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "closure");
+    }
+
+    #[test]
+    fn nested_scopes_complete() {
+        // A 2-worker pool with tasks that themselves fan out: the
+        // joining tasks must help run queued work or this deadlocks.
+        let exec = Executor::new(2);
+        let total = AtomicUsize::new(0);
+        exec.scope(|s| {
+            for _ in 0..4 {
+                let exec = &exec;
+                let total = &total;
+                s.spawn(move || {
+                    let inner: usize = exec.par_map((0..8).collect(), |x: usize| x).iter().sum();
+                    total.fetch_add(inner, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 4 * 28);
+    }
+
+    #[test]
+    fn nested_par_map_is_ordered_too() {
+        let exec = Executor::new(3);
+        let out = exec.par_map((0..6).collect::<Vec<usize>>(), |i| {
+            exec.par_map((0..5).collect::<Vec<usize>>(), move |j| i * 10 + j)
+        });
+        for (i, row) in out.iter().enumerate() {
+            assert_eq!(row, &(0..5).map(|j| i * 10 + j).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn borrowed_mutation_through_scope() {
+        let exec = Executor::new(2);
+        let mut counters = vec![0u64; 4];
+        exec.scope(|s| {
+            for (i, c) in counters.iter_mut().enumerate() {
+                s.spawn(move || *c = i as u64 + 1);
+            }
+        });
+        assert_eq!(counters, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn parallelism_accessor() {
+        assert_eq!(Executor::new(0).parallelism(), 1);
+        assert_eq!(Executor::new(1).parallelism(), 1);
+        assert_eq!(Executor::new(4).parallelism(), 4);
+        assert!(!Executor::new(4).is_sequential());
+    }
+
+    #[test]
+    fn batch_ranges_cover_everything_once() {
+        for (len, batches) in [(0, 4), (3, 8), (10, 3), (100, 7), (5, 1), (7, 0)] {
+            let ranges = batch_ranges(len, batches);
+            let mut covered = Vec::new();
+            for r in &ranges {
+                covered.extend(r.clone());
+            }
+            assert_eq!(covered, (0..len).collect::<Vec<_>>(), "len={len} batches={batches}");
+            if len > 0 {
+                assert!(ranges.len() <= batches.max(1));
+                let max = ranges.iter().map(|r| r.len()).max().unwrap();
+                let min = ranges.iter().map(|r| r.len()).min().unwrap();
+                assert!(max - min <= 1, "uneven split: {ranges:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let exec = Executor::new(4);
+        let sum: u64 = exec.par_map((0..100u64).collect(), |x| x).iter().sum();
+        assert_eq!(sum, 4950);
+        drop(exec); // must not hang or leak threads
+    }
+}

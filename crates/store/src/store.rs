@@ -15,8 +15,9 @@ use crate::lifecycle::LifecycleRule;
 use crate::object::{ObjectMeta, StoredObject};
 use bytes::Bytes;
 use parking_lot::RwLock;
-use rai_archive::chunk::{assemble, chunk_bytes, Chunk, ChunkManifest, ChunkerParams};
+use rai_archive::chunk::{assemble, chunk_bytes_on, Chunk, ChunkManifest, ChunkerParams};
 use rai_archive::fnv;
+use rai_exec::Executor;
 use rai_sim::VirtualClock;
 #[cfg(test)]
 use rai_sim::SimTime;
@@ -116,7 +117,16 @@ struct StoreInner {
     faults: std::sync::atomic::AtomicU64,
     /// Probability-driven fault injection (chaos runs).
     injector: RwLock<Option<rai_faults::FaultInjector>>,
+    /// Executor for server-side chunking and chunk verification.
+    /// Sequential by default; a pool spreads the per-chunk digest work
+    /// without changing any stored byte (DESIGN.md §12).
+    executor: RwLock<Executor>,
 }
+
+/// Minimum total provided-chunk bytes before `put_delta` pre-hashes on
+/// the pool instead of hashing inline under the state lock. Small
+/// deltas (the steady-state resubmission) stay on the inline path.
+const PAR_VERIFY_MIN_BYTES: u64 = 32 * 1024;
 
 /// Cumulative usage snapshot — backs the paper's §VII resource-usage
 /// numbers ("the file server held 100GB of data for 176 students"),
@@ -185,8 +195,15 @@ impl ObjectStore {
                 counters: RwLock::new(Counters::default()),
                 faults: std::sync::atomic::AtomicU64::new(0),
                 injector: RwLock::new(None),
+                executor: RwLock::new(Executor::sequential()),
             }),
         }
+    }
+
+    /// Route server-side chunking/digesting onto `exec`. Results are
+    /// byte-identical at any parallelism; only wall-clock changes.
+    pub fn set_executor(&self, exec: Executor) {
+        *self.inner.executor.write() = exec;
     }
 
     /// Create a bucket with a lifecycle rule.
@@ -262,7 +279,8 @@ impl ObjectStore {
             return Err(StoreError::Unavailable);
         }
         let data = data.into();
-        let (manifest, chunks) = chunk_bytes(&data, self.inner.chunker);
+        let exec = self.inner.executor.read().clone();
+        let (manifest, chunks) = chunk_bytes_on(&exec, &data, self.inner.chunker);
         let size = manifest.total_len;
         let etag = manifest.etag.clone();
         let user: BTreeMap<String, String> = user_meta.into_iter().collect();
@@ -333,12 +351,26 @@ impl ObjectStore {
         }
         let user: BTreeMap<String, String> = user_meta.into_iter().collect();
 
+        // Under a pool executor, bulk deltas pre-hash their provided
+        // bytes in parallel *before* the state lock; the verification
+        // loop below then compares precomputed digests instead of
+        // hashing inline while writers wait. The accept/reject outcome
+        // is identical (same chunks checked, in the same order).
+        let exec = self.inner.executor.read().clone();
+        let provided_bytes: u64 = provided.iter().map(|c| c.data.len() as u64).sum();
+        let pre_hashed: Option<Vec<u64>> =
+            if !exec.is_sequential() && provided_bytes >= PAR_VERIFY_MIN_BYTES {
+                Some(exec.par_map(provided.iter().collect(), |c: &Chunk| fnv::hash(&c.data)))
+            } else {
+                None
+            };
+
         let mut state = self.inner.state.write();
         if !state.buckets.contains_key(bucket) {
             return Err(StoreError::NoSuchBucket(bucket.to_string()));
         }
         let mut by_digest: BTreeMap<u64, &Bytes> = BTreeMap::new();
-        for c in provided {
+        for (i, c) in provided.iter().enumerate() {
             // A chunk that is already resident dedups against the
             // stored copy and its provided bytes are never admitted
             // (see ChunkStore::retain), so only hash-verify the bytes
@@ -346,10 +378,16 @@ impl ObjectStore {
             // digested every chunk when it built the manifest; this
             // avoids re-hashing the dedup-hit majority a second time
             // on the server.
-            if !state.chunks.contains(c.digest) && fnv::hash(&c.data) != c.digest {
-                return Err(StoreError::DeltaMismatch {
-                    reason: "chunk bytes do not match claimed digest",
-                });
+            if !state.chunks.contains(c.digest) {
+                let actual = match &pre_hashed {
+                    Some(h) => h[i],
+                    None => fnv::hash(&c.data),
+                };
+                if actual != c.digest {
+                    return Err(StoreError::DeltaMismatch {
+                        reason: "chunk bytes do not match claimed digest",
+                    });
+                }
             }
             by_digest.insert(c.digest, &c.data);
         }
@@ -635,6 +673,7 @@ impl ObjectStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rai_archive::chunk::chunk_bytes;
     use rai_sim::SimDuration;
 
     fn store() -> ObjectStore {
@@ -916,6 +955,44 @@ mod tests {
             s.put_delta("keep", "a", &bad, &[], []),
             Err(StoreError::DeltaMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn pool_executor_store_matches_sequential() {
+        // Big enough to cross both PAR_CHUNK_MIN_BYTES (server-side
+        // put chunking) and PAR_VERIFY_MIN_BYTES (delta pre-hash), so
+        // the pool paths actually run.
+        let payload = varied(100_000, 9);
+        let (manifest, chunks) = chunk_bytes(&payload, ChunkerParams::DEFAULT);
+        let reference = {
+            let s = store();
+            let etag = s.put("keep", "whole", payload.clone(), []).unwrap();
+            let detag = s.put_delta("keep", "delta", &manifest, &chunks, []).unwrap();
+            (etag, detag, s.usage())
+        };
+        for threads in [2, 8] {
+            let s = store();
+            s.set_executor(Executor::new(threads));
+            let etag = s.put("keep", "whole", payload.clone(), []).unwrap();
+            let detag = s.put_delta("keep", "delta", &manifest, &chunks, []).unwrap();
+            assert_eq!(
+                (etag, detag, s.usage()),
+                reference,
+                "store accounting drift at threads={threads}"
+            );
+            assert_eq!(s.get("keep", "delta").unwrap().data.as_ref(), &payload[..]);
+            // Corruption is still rejected on the pre-hashed path
+            // (fresh store: the chunk must not already be resident,
+            // or its provided bytes would be ignored by design).
+            let fresh = store();
+            fresh.set_executor(Executor::new(threads));
+            let mut bad = chunks.clone();
+            bad[0].data = Bytes::from(vec![0xAB; bad[0].data.len()]);
+            assert!(matches!(
+                fresh.put_delta("keep", "x", &manifest, &bad, []),
+                Err(StoreError::DeltaMismatch { .. })
+            ));
+        }
     }
 
     #[test]

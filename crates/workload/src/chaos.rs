@@ -39,6 +39,12 @@ pub struct ChaosConfig {
     pub seed: u64,
     /// The fault plan to execute.
     pub plan: FaultPlan,
+    /// Payload-pipeline pool width (1 = sequential reference). Fault
+    /// draws are consumed per store/db/broker *operation*, and the
+    /// offload changes neither the number nor the order of those
+    /// operations, so chaos fingerprints are byte-identical at every
+    /// setting (DESIGN.md §12).
+    pub parallelism: usize,
 }
 
 impl ChaosConfig {
@@ -54,6 +60,7 @@ impl ChaosConfig {
             broker_attempts: 8,
             seed,
             plan: FaultPlan::chaos(seed),
+            parallelism: 1,
         }
     }
 
@@ -70,7 +77,15 @@ impl ChaosConfig {
             broker_attempts: 6,
             seed,
             plan,
+            parallelism: 1,
         }
+    }
+
+    /// The same scenario with the payload pipeline on an `n`-worker
+    /// pool (1 = sequential reference).
+    pub fn with_parallelism(mut self, n: usize) -> Self {
+        self.parallelism = n;
+        self
     }
 }
 
@@ -213,6 +228,7 @@ pub fn run_chaos(config: &ChaosConfig) -> ChaosResult {
             seed: config.seed,
             broker_attempts: config.broker_attempts,
             fault_plan: Some(config.plan.clone()),
+            parallelism: config.parallelism,
             ..Default::default()
         },
         clock.clone(),

@@ -40,6 +40,15 @@ pub struct SemesterConfig {
     /// pre-overhaul full-scan configuration `perf_report` times as its
     /// reference run; results and fingerprints are identical.
     pub db_hot_indexes: bool,
+    /// Width of the work-stealing pool the payload pipeline (chunking,
+    /// digesting, chunk validation) runs on. `1` — the preserved
+    /// reference configuration — keeps every transform inline on the
+    /// event loop; `N > 1` offloads pure byte-crunching to an N-worker
+    /// `rai_exec` pool. The event loop itself stays sequential either
+    /// way and offloaded results join in input order, so
+    /// [`SemesterResult::fingerprint`] is byte-identical at every
+    /// setting (DESIGN.md §12).
+    pub parallelism: usize,
 }
 
 /// Fleet provisioning policy for the semester (the elasticity
@@ -72,6 +81,7 @@ impl SemesterConfig {
             fleet: FleetPolicy::PaperSchedule,
             arrivals: CircadianModel::paper_calibrated(),
             db_hot_indexes: true,
+            parallelism: 1,
         }
     }
 
@@ -88,7 +98,15 @@ impl SemesterConfig {
             fleet: FleetPolicy::PaperSchedule,
             arrivals,
             db_hot_indexes: true,
+            parallelism: 1,
         }
+    }
+
+    /// The same semester with the payload pipeline on an
+    /// `n`-worker pool (1 = sequential reference).
+    pub fn with_parallelism(mut self, n: usize) -> Self {
+        self.parallelism = n;
+        self
     }
 }
 
@@ -284,6 +302,7 @@ pub fn run_semester(config: &SemesterConfig) -> SemesterResult {
             rate_limit: None, // spacing is enforced by the arrival model
             seed: config.seed,
             db_hot_indexes: config.db_hot_indexes,
+            parallelism: config.parallelism,
             ..Default::default()
         },
         clock.clone(),

@@ -1,0 +1,72 @@
+//! Determinism across pool widths: the `parallelism` knob routes pure
+//! byte-crunching (chunking, digesting, chunk validation) onto a
+//! work-stealing pool, but every offloaded result joins in input order
+//! and no store/db/broker operation is added, removed, or reordered.
+//! Semester and chaos fingerprints must therefore be byte-identical at
+//! every thread count — including widths above the host core count.
+
+use proptest::prelude::*;
+use rai_workload::chaos::{run_chaos, ChaosConfig};
+use rai_workload::semester::{run_semester, SemesterConfig};
+
+fn semester_fingerprint(seed: u64, parallelism: usize) -> u64 {
+    let cfg = SemesterConfig::scaled(4, 6, seed).with_parallelism(parallelism);
+    run_semester(&cfg).fingerprint()
+}
+
+fn chaos_fingerprint(seed: u64, parallelism: usize) -> u64 {
+    let result = run_chaos(&ChaosConfig::quick(seed).with_parallelism(parallelism));
+    result.verify().expect("chaos invariants hold on the pool");
+    result.fingerprint
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Same seed, any pool width, same semester bytes.
+    #[test]
+    fn semester_fingerprint_is_parallelism_invariant(seed in 0u64..1_000) {
+        let reference = semester_fingerprint(seed, 1);
+        for threads in [2usize, 8] {
+            prop_assert_eq!(
+                reference,
+                semester_fingerprint(seed, threads),
+                "seed {} diverged at parallelism {}",
+                seed,
+                threads
+            );
+        }
+    }
+
+    /// Same seed, any pool width, same chaos bytes — fault draws are
+    /// consumed per operation, so the schedule must not shift either.
+    #[test]
+    fn chaos_fingerprint_is_parallelism_invariant(seed in 0u64..1_000) {
+        let reference = chaos_fingerprint(seed, 1);
+        for threads in [2usize, 8] {
+            prop_assert_eq!(
+                reference,
+                chaos_fingerprint(seed, threads),
+                "seed {} diverged at parallelism {}",
+                seed,
+                threads
+            );
+        }
+    }
+}
+
+/// The paper-shaped acceptance chaos profile (worker crashes, store
+/// faults, poison jobs, an instance death) is also width-invariant.
+#[test]
+fn acceptance_chaos_is_parallelism_invariant() {
+    let reference = run_chaos(&ChaosConfig::acceptance(2016));
+    reference.verify().expect("sequential acceptance run is sound");
+    for threads in [2usize, 8] {
+        let pooled = run_chaos(&ChaosConfig::acceptance(2016).with_parallelism(threads));
+        pooled.verify().expect("pooled acceptance run is sound");
+        assert_eq!(
+            reference.fingerprint, pooled.fingerprint,
+            "acceptance chaos diverged at parallelism {threads}"
+        );
+    }
+}
