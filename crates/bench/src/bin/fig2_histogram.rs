@@ -44,4 +44,28 @@ fn main() {
     println!("  slowest submission    paper: ~2 min      measured: {slowest:.1} s");
     assert!(under_1s >= 18);
     assert!((100.0..140.0).contains(slowest));
+
+    // The same top-30 population through the deterministic log-bucketed
+    // latency histogram: the migrated figures must agree with the
+    // fixed-bin histogram above for the reference seed.
+    rai_bench::header("top-30 runtimes (log-bucketed latency histogram)");
+    let summary = result.runtimes.summary();
+    println!("  {}", summary.render_secs());
+    assert_eq!(summary.count, 30, "one sample per top-30 team");
+    let log_under_1s = result.runtimes.count_le_micros(999_999);
+    assert_eq!(
+        log_under_1s, under_1s as u64,
+        "log-histogram under-1s count must match the exact standings count"
+    );
+    let log_bin_04_05 =
+        result.runtimes.count_le_micros(499_999) - result.runtimes.count_le_micros(399_999);
+    assert_eq!(
+        log_bin_04_05,
+        bin_04_05,
+        "log-histogram [0.4, 0.5) count must match the 0.1 s-bin histogram"
+    );
+    // The straggler is outside the top 30, so the top-30 max stays in
+    // the sub-2.5 s cluster; quantiles never exceed the observed max.
+    assert!(summary.p999_micros <= summary.max_micros);
+    assert!(summary.max_micros < 2_500_000);
 }

@@ -568,9 +568,9 @@ fn main() {
         .filter(|(i, _)| {
             // Skip the --parallelism value; any other bare integer is
             // the seed.
-            !args
+            args
                 .get(i.wrapping_sub(1))
-                .is_some_and(|prev| prev == "--parallelism")
+                .is_none_or(|prev| prev != "--parallelism")
         })
         .find_map(|(_, a)| a.parse().ok())
         .unwrap_or(2016);

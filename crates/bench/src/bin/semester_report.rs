@@ -83,6 +83,33 @@ fn main() {
         "  queue wait p50/p90/p99: {:.1}s / {:.1}s / {:.1}s",
         result.queue_wait_secs.0, result.queue_wait_secs.1, result.queue_wait_secs.2
     );
+    println!("  queue wait {}", result.queue_wait.summary().render_secs());
+    // The three-quantile line above is *derived from* the log-bucketed
+    // histogram; recomputing must reproduce the same figures exactly.
+    assert_eq!(
+        result.queue_wait.count(),
+        result.total_submissions,
+        "every accepted job waited in queue exactly once"
+    );
+    for (q, want) in [
+        (0.50, result.queue_wait_secs.0),
+        (0.90, result.queue_wait_secs.1),
+        (0.99, result.queue_wait_secs.2),
+    ] {
+        let got = result.queue_wait.quantile_micros(q) as f64 / 1e6;
+        assert_eq!(got.to_bits(), want.to_bits(), "q{q} drifted: {got} vs {want}");
+    }
+
+    rai_bench::header("broker backpressure (hourly maxima)");
+    println!("  queue depth  {}", result.depth_series.sparkline(64));
+    println!("  in flight    {}", result.in_flight_series.sparkline(64));
+    if let Some((bucket, depth)) = result.depth_series.peak_bucket() {
+        println!(
+            "  peak queue depth {} at day {:.1}",
+            depth,
+            result.depth_series.bucket_start(bucket).as_millis() as f64 / 86_400_000.0
+        );
+    }
 
     rai_bench::header("final leaderboard (top 10)");
     for (i, (team, secs)) in result.final_standings.iter().take(10).enumerate() {

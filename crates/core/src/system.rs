@@ -19,7 +19,7 @@ use rai_exec::Executor;
 use rai_sandbox::{ImageRegistry, ResourceLimits};
 use rai_sim::{SimDuration, VirtualClock};
 use rai_store::{LifecycleRule, ObjectStore, StoreUsage};
-use rai_telemetry::{names, stage, MetricsSnapshot, Telemetry};
+use rai_telemetry::{component, names, stage, MetricsSnapshot, Telemetry};
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 use std::time::Duration;
@@ -240,6 +240,19 @@ impl RaiSystem {
                 reg.counter(names::DB_QUERIES_TOTAL, &[]).store(t.queries);
                 reg.counter(names::DB_UPDATES_TOTAL, &[]).store(t.updates);
             });
+            // Executor scheduling counters. These describe the *host*
+            // machine's work-stealing behaviour, not the simulation, so
+            // they vary with pool width and OS scheduling — report-only,
+            // never folded into fingerprints or byte-identical exports.
+            let exec2 = executor.clone();
+            telemetry.register_collector(move |reg| {
+                let s = exec2.stats();
+                reg.counter(names::EXEC_SPAWNED_TOTAL, &[]).store(s.spawned);
+                reg.counter(names::EXEC_INLINE_RUNS_TOTAL, &[]).store(s.inline_runs);
+                reg.counter(names::EXEC_STOLEN_TOTAL, &[]).store(s.stolen);
+                reg.counter(names::EXEC_PARKED_TOTAL, &[]).store(s.parked);
+                reg.counter(names::EXEC_INJECTED_TOTAL, &[]).store(s.injected);
+            });
         }
         let rate_limiter = config
             .rate_limit
@@ -346,9 +359,13 @@ impl RaiSystem {
         let pending = client.begin_submit(project, mode)?;
         let job_id = pending.job_id;
         // The client uploads and publishes in one step, so submit and
-        // enqueue share a timestamp in the trace.
-        self.telemetry.trace_stage(job_id, stage::SUBMITTED);
-        self.telemetry.trace_stage(job_id, stage::ENQUEUED);
+        // enqueue share a timestamp in the trace. Attempt 0 is the
+        // client's submit subtree; worker attempts start at 1.
+        let now = self.clock.now();
+        self.telemetry
+            .trace_span(job_id, 0, stage::SUBMITTED, component::CLIENT, now, now);
+        self.telemetry
+            .trace_span(job_id, 0, stage::ENQUEUED, component::BROKER, now, now);
         self.drive_until(|o| o.job_id == job_id);
         pending.wait(Duration::from_millis(500))
     }

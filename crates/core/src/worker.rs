@@ -36,7 +36,7 @@ use rai_db::{doc, Database, DbError, Value};
 use rai_faults::{CrashKind, CrashPoint, FaultInjector, RetryPolicy};
 use rai_sandbox::{Container, ContainerStatus, ImageRegistry, ResourceLimits};
 use rai_sim::SimDuration;
-use rai_telemetry::{names, stage, Telemetry};
+use rai_telemetry::{component, names, stage, Telemetry};
 use parking_lot::RwLock;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -122,6 +122,12 @@ pub enum StepEvent {
     /// acked. After a crash, call [`Worker::crash_recover`]; after a
     /// stall, the claim times out via `Broker::reclaim_expired`.
     Crashed(CrashReport),
+}
+
+/// Clamp a broker delivery-attempt number into the span tree's `u32`
+/// attempt tag (attempt 0 is reserved for the client submit subtree).
+fn attempt_no(attempt: u64) -> u32 {
+    u32::try_from(attempt.max(1)).unwrap_or(u32::MAX)
 }
 
 /// The worker agent.
@@ -330,20 +336,25 @@ impl Worker {
         }
     }
 
-    /// Record a lifecycle stage at `started + elapsed` and its duration
-    /// since the previous stage boundary in the per-stage histogram.
+    /// Record a lifecycle stage as a causal span `[started + from,
+    /// started + to]` under this delivery attempt's subtree, and its
+    /// duration in the per-stage histogram. A zero-width span
+    /// (`from == to`) marks an instantaneous lifecycle event.
+    #[allow(clippy::too_many_arguments)]
     fn note_stage(
         &self,
         request: &JobRequest,
+        attempt: u32,
         stage_name: &'static str,
+        comp: &'static str,
         started: rai_sim::SimTime,
-        elapsed: SimDuration,
-        stage_secs: f64,
+        from: SimDuration,
+        to: SimDuration,
     ) {
         if let Some(t) = &self.telemetry {
-            t.trace_stage_at(request.job_id, stage_name, started + elapsed);
+            t.trace_span(request.job_id, attempt, stage_name, comp, started + from, started + to);
             t.histogram(names::JOB_STAGE_SECONDS, &[("stage", stage_name)], 0.0, 5.0, 24)
-                .record(stage_secs);
+                .record((to.saturating_sub(from)).as_secs_f64());
         }
     }
 
@@ -427,13 +438,42 @@ impl Worker {
         attempt: u64,
         co_scheduled: usize,
     ) -> Result<JobOutcome, CrashReport> {
+        let started = self.store.clock().now();
+        let result = self.run_job_inner(request, attempt, co_scheduled);
+        if let Err(report) = &result {
+            // Close the attempt's subtree with a zero-width crash
+            // marker so the trace shows where the wasted work ended —
+            // the next delivery opens a sibling attempt subtree.
+            if let Some(t) = &self.telemetry {
+                let at = started + report.wasted;
+                t.trace_span(
+                    request.job_id,
+                    attempt_no(attempt),
+                    stage::CRASHED,
+                    component::FAULT,
+                    at,
+                    at,
+                );
+            }
+        }
+        result
+    }
+
+    fn run_job_inner(
+        &mut self,
+        request: &JobRequest,
+        attempt: u64,
+        co_scheduled: usize,
+    ) -> Result<JobOutcome, CrashReport> {
         let log_topic = routes::log_topic(request.job_id);
+        let attempt_no = attempt_no(attempt);
         // All stage timestamps are `started + accumulated service time`:
         // the driver advances the shared clock only after the outcome,
         // so stamping the logical time keeps per-job traces monotone.
         let started = self.store.clock().now();
         if let Some(t) = &self.telemetry {
-            t.trace_stage_at(request.job_id, stage::DEQUEUED, started);
+            // Delivery from the broker opens this attempt's subtree.
+            t.trace_span(request.job_id, attempt_no, stage::DEQUEUED, component::BROKER, started, started);
         }
         // Bytes of log traffic this job generates (the paper reports
         // 25 GB of logs and metadata across the semester).
@@ -478,6 +518,7 @@ impl Worker {
                     .record_submission(request, "auth-rejected", None, SimDuration::ZERO, false, log_bytes.get())
                     .map_err(|_| self.db_crash(request, service_time))?;
                 out.service_time += backoff;
+                self.note_stage(request, attempt_no, stage::RECORDED, component::DB, started, service_time, out.service_time);
                 self.note_outcome(request, "auth-rejected", out.service_time);
                 return Ok(out);
             }
@@ -492,6 +533,7 @@ impl Worker {
                     .record_submission(request, &user, None, SimDuration::ZERO, false, log_bytes.get())
                     .map_err(|_| self.db_crash(request, service_time))?;
                 out.service_time += backoff;
+                self.note_stage(request, attempt_no, stage::RECORDED, component::DB, started, service_time, out.service_time);
                 self.note_outcome(request, "bad-spec", out.service_time);
                 return Ok(out);
             }
@@ -506,6 +548,7 @@ impl Worker {
                     .record_submission(request, &user, None, SimDuration::ZERO, false, log_bytes.get())
                     .map_err(|_| self.db_crash(request, service_time))?;
                 out.service_time += backoff;
+                self.note_stage(request, attempt_no, stage::RECORDED, component::DB, started, service_time, out.service_time);
                 self.note_outcome(request, "image-rejected", out.service_time);
                 return Ok(out);
             }
@@ -515,8 +558,18 @@ impl Worker {
                 &self.broker,
                 LogFrame::Status(format!("pulling image {}...", image.name)),
             );
+            let before_pull = service_time;
             service_time += self.images.pull_latency(&image.name);
             self.cached_images.insert(image.name.clone());
+            self.note_stage(
+                request,
+                attempt_no,
+                stage::PULLED,
+                component::SANDBOX,
+                started,
+                before_pull,
+                service_time,
+            );
             if let Some(t) = &self.telemetry {
                 t.counter(names::SANDBOX_IMAGE_PULLS_TOTAL, &[]).inc();
             }
@@ -524,6 +577,7 @@ impl Worker {
 
         // ④ Download the project archive and mount it.
         self.crash_check(request, attempt, CrashPoint::Fetch, service_time)?;
+        let before_fetch = service_time;
         let fetched = self.config.retry.run(
             self.op_seed(request.job_id, attempt, 1),
             |_| self.store.get(&request.upload_bucket, &request.upload_key),
@@ -542,19 +596,22 @@ impl Worker {
                     .record_submission(request, &user, None, SimDuration::ZERO, false, log_bytes.get())
                     .map_err(|_| self.db_crash(request, service_time))?;
                 out.service_time += backoff;
+                self.note_stage(request, attempt_no, stage::RECORDED, component::DB, started, service_time, out.service_time);
                 self.note_outcome(request, "fetch-failed", out.service_time);
                 return Ok(out);
             }
         };
-        // Transfer latency: 100 MB/s from the file server.
-        let before_fetch = service_time;
+        // Transfer latency: 100 MB/s from the file server. The span
+        // covers backoff + transfer — everything the store fetch cost.
         service_time += SimDuration::from_millis(project.total_size() / (100 * 1024) + 1);
         self.note_stage(
             request,
+            attempt_no,
             stage::FETCHED,
+            component::STORE,
             started,
+            before_fetch,
             service_time,
-            (service_time - before_fetch).as_secs_f64(),
         );
 
         self.crash_check(request, attempt, CrashPoint::Build, service_time)?;
@@ -582,9 +639,10 @@ impl Worker {
                 },
             );
         }
-        self.note_stage(request, stage::BUILT, started, service_time, 0.0);
+        self.note_stage(request, attempt_no, stage::BUILT, component::SANDBOX, started, service_time, service_time);
+        let before_run = service_time;
         service_time += report.elapsed;
-        self.note_stage(request, stage::RAN, started, service_time, report.elapsed.as_secs_f64());
+        self.note_stage(request, attempt_no, stage::RAN, component::SANDBOX, started, before_run, service_time);
         if let Some(t) = &self.telemetry {
             t.histogram(names::SANDBOX_RUN_SECONDS, &[], 0.0, 5.0, 24)
                 .record(report.elapsed.as_secs_f64());
@@ -597,6 +655,7 @@ impl Worker {
         // function of (team, job_id): a redelivered attempt overwrites
         // its own previous upload instead of duplicating it.
         self.crash_check(request, attempt, CrashPoint::Upload, service_time)?;
+        let before_upload = service_time;
         let build_container = write_container(&report.build_dir);
         let build_key = format!("{}/{:08x}-build.tar.bz2", request.team.replace(' ', "-"), request.job_id);
         let upload = self.config.retry.run(
@@ -633,10 +692,10 @@ impl Worker {
                 LogFrame::BuildUrl(self.store.presign(BUILD_BUCKET, &build_key, expires)),
             );
         }
-        let before_upload = service_time;
         // Transfer time is charged on the bytes that actually crossed
         // the wire: a delta upload of a near-identical build tree is a
-        // few manifest-sized writes, not a whole re-archive.
+        // few manifest-sized writes, not a whole re-archive. The span
+        // covers backoff + transfer, mirroring the fetch span.
         let wire_bytes = match &upload.result {
             Ok(receipt) => receipt.wire_bytes(),
             Err(_) => build_container.len() as u64,
@@ -644,10 +703,12 @@ impl Worker {
         service_time += SimDuration::from_millis(wire_bytes / (100 * 1024) + 1);
         self.note_stage(
             request,
+            attempt_no,
             stage::UPLOADED,
+            component::STORE,
             started,
+            before_upload,
             service_time,
-            (service_time - before_upload).as_secs_f64(),
         );
 
         let success = report.success();
@@ -656,6 +717,7 @@ impl Worker {
 
         // ⑦ Record the submission metadata. Failure to persist is a
         // crash: the message stays unacked and redelivers.
+        let before_record = service_time;
         let mut backoff = self
             .record_submission(request, &user, measured, report.elapsed, success, log_bytes.get())
             .map_err(|_| self.db_crash(request, service_time))?;
@@ -665,9 +727,25 @@ impl Worker {
                 .map_err(|_| self.db_crash(request, service_time))?;
         }
         service_time += backoff;
+        self.note_stage(
+            request,
+            attempt_no,
+            stage::RECORDED,
+            component::DB,
+            started,
+            before_record,
+            service_time,
+        );
         self.crash_check(request, attempt, CrashPoint::Ack, service_time)?;
         if let Some(t) = &self.telemetry {
-            t.trace_stage_at(request.job_id, stage::GRADED, started + service_time);
+            t.trace_span(
+                request.job_id,
+                attempt_no,
+                stage::GRADED,
+                component::WORKER,
+                started + service_time,
+                started + service_time,
+            );
             let span = t.span("worker.job").label("worker", &self.config.worker_id);
             span.finish_at(started + service_time);
         }

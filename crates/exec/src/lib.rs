@@ -37,7 +37,7 @@ use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::ops::Range;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -65,8 +65,50 @@ enum Inner {
     /// `parallelism <= 1`: tasks run inline on the calling thread, in
     /// spawn order. This is the preserved reference configuration the
     /// determinism gate compares against.
-    Sequential,
+    Sequential(Counters),
     Pool(Pool),
+}
+
+/// Cumulative activity counters. Telemetry-only: they are never read
+/// back by pipeline logic (steal/park counts depend on OS scheduling,
+/// so they are *not* deterministic across runs or pool widths and must
+/// stay out of fingerprints and byte-identical exports).
+#[derive(Debug, Default)]
+struct Counters {
+    spawned: AtomicU64,
+    inline_runs: AtomicU64,
+    stolen: AtomicU64,
+    parked: AtomicU64,
+    injected: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> ExecStats {
+        ExecStats {
+            spawned: self.spawned.load(Ordering::Relaxed),
+            inline_runs: self.inline_runs.load(Ordering::Relaxed),
+            stolen: self.stolen.load(Ordering::Relaxed),
+            parked: self.parked.load(Ordering::Relaxed),
+            injected: self.injected.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of an executor's cumulative activity counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Tasks handed to pool workers (scope spawns on a pool).
+    pub spawned: u64,
+    /// Tasks run inline on the calling thread (sequential executor, or
+    /// degenerate `par_map` inputs that skip the pool).
+    pub inline_runs: u64,
+    /// Jobs taken from another worker's deque (or by a helping joiner).
+    pub stolen: u64,
+    /// Times a worker ran dry and parked on the idle condvar.
+    pub parked: u64,
+    /// Jobs that went through the shared injector (spawns arriving from
+    /// off-pool threads).
+    pub injected: u64,
 }
 
 impl Default for Executor {
@@ -87,7 +129,7 @@ impl Executor {
     /// An executor that runs every task inline on the caller thread.
     pub fn sequential() -> Self {
         Executor {
-            inner: Arc::new(Inner::Sequential),
+            inner: Arc::new(Inner::Sequential(Counters::default())),
         }
     }
 
@@ -105,14 +147,29 @@ impl Executor {
     /// Number of threads tasks may run on (1 for sequential).
     pub fn parallelism(&self) -> usize {
         match &*self.inner {
-            Inner::Sequential => 1,
+            Inner::Sequential(_) => 1,
             Inner::Pool(p) => p.shared.deques.len(),
         }
     }
 
     /// True when every task runs inline on the caller thread.
     pub fn is_sequential(&self) -> bool {
-        matches!(&*self.inner, Inner::Sequential)
+        matches!(&*self.inner, Inner::Sequential(_))
+    }
+
+    /// Snapshot of the cumulative activity counters (spawn / inline /
+    /// steal / park / inject). Monotonic; shared by every clone of this
+    /// handle. Steal and park counts depend on thread scheduling —
+    /// report them, never fingerprint them.
+    pub fn stats(&self) -> ExecStats {
+        self.counters().snapshot()
+    }
+
+    fn counters(&self) -> &Counters {
+        match &*self.inner {
+            Inner::Sequential(c) => c,
+            Inner::Pool(p) => &p.shared.counters,
+        }
     }
 
     /// Run `f` with a [`Scope`] that can spawn borrowing tasks.
@@ -160,6 +217,9 @@ impl Executor {
         F: Fn(T) -> U + Sync,
     {
         if self.is_sequential() || items.len() <= 1 {
+            self.counters()
+                .inline_runs
+                .fetch_add(items.len() as u64, Ordering::Relaxed);
             return items.into_iter().map(f).collect();
         }
         let slots = SlotVec::new(items.len());
@@ -178,7 +238,7 @@ impl Executor {
     /// threads to help instead of blocking.
     fn try_pop_job(&self) -> Option<Job> {
         match &*self.inner {
-            Inner::Sequential => None,
+            Inner::Sequential(_) => None,
             Inner::Pool(p) => p.shared.pop_external(),
         }
     }
@@ -273,7 +333,8 @@ impl<'env> Scope<'env, '_> {
         F: FnOnce() + Send + 'env,
     {
         match &*self.exec.inner {
-            Inner::Sequential => {
+            Inner::Sequential(counters) => {
+                counters.inline_runs.fetch_add(1, Ordering::Relaxed);
                 // Inline, but with pool-identical panic semantics:
                 // capture the payload, keep running later spawns.
                 if let Err(p) = panic::catch_unwind(AssertUnwindSafe(f)) {
@@ -284,6 +345,7 @@ impl<'env> Scope<'env, '_> {
                 }
             }
             Inner::Pool(pool) => {
+                pool.shared.counters.spawned.fetch_add(1, Ordering::Relaxed);
                 self.state.lock.lock().pending += 1;
                 let state = Arc::clone(self.state);
                 let task = move || {
@@ -319,6 +381,7 @@ struct Shared {
     /// Parks idle workers; paired with the `injector` mutex.
     idle: Condvar,
     shutdown: AtomicBool,
+    counters: Counters,
 }
 
 impl Shared {
@@ -335,7 +398,10 @@ impl Shared {
             Some((pool_id, idx)) if pool_id == self.id() => {
                 self.deques[idx].lock().push_back(job);
             }
-            _ => self.injector.lock().push_back(job),
+            _ => {
+                self.counters.injected.fetch_add(1, Ordering::Relaxed);
+                self.injector.lock().push_back(job);
+            }
         }
         self.idle.notify_one();
     }
@@ -368,6 +434,7 @@ impl Shared {
             }
             if let Some(mut g) = deque.try_lock() {
                 if let Some(job) = g.pop_front() {
+                    self.counters.stolen.fetch_add(1, Ordering::Relaxed);
                     return Some(job);
                 }
             }
@@ -392,6 +459,7 @@ impl Shared {
             // Timed park: pushes onto sibling deques race with this
             // check (they notify before we sleep), so cap the nap and
             // re-scan rather than risk sleeping through work.
+            self.counters.parked.fetch_add(1, Ordering::Relaxed);
             self.idle.wait_for(&mut g, Duration::from_millis(2));
         }
     }
@@ -406,6 +474,7 @@ impl Pool {
                 .collect(),
             idle: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            counters: Counters::default(),
         });
         let threads = (0..parallelism)
             .map(|i| {
@@ -658,6 +727,31 @@ mod tests {
                 assert!(max - min <= 1, "uneven split: {ranges:?}");
             }
         }
+    }
+
+    #[test]
+    fn stats_count_spawns_and_inline_runs() {
+        let seq = Executor::sequential();
+        seq.scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {});
+            }
+        });
+        let _ = seq.par_map(vec![1, 2], |x| x);
+        let s = seq.stats();
+        assert_eq!(s.inline_runs, 5);
+        assert_eq!(s.spawned, 0);
+        assert_eq!(s.stolen, 0);
+
+        let pool = Executor::new(2);
+        let _ = pool.par_map((0..64u64).collect::<Vec<_>>(), |x| x + 1);
+        let s = pool.stats();
+        assert_eq!(s.spawned, 64);
+        // Spawns came from the (off-pool) caller thread.
+        assert_eq!(s.injected, 64);
+        assert_eq!(s.inline_runs, 0);
+        // Steal/park counts are scheduling-dependent; clones share them.
+        assert_eq!(pool.clone().stats().spawned, 64);
     }
 
     #[test]

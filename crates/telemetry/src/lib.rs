@@ -7,34 +7,47 @@
 //! 1. a thread-safe [`MetricsRegistry`] of counters, gauges, and
 //!    fixed-bucket histograms;
 //! 2. lightweight [`Span`]s stamped with [`VirtualClock`] sim-time;
-//! 3. per-job [`JobTrace`]s recording the full submission lifecycle
-//!    (submit → enqueue → dequeue → fetch → build → run → upload →
-//!    grade) with per-stage durations;
-//! 4. exposition of the registry as Prometheus text or JSON.
+//! 3. per-job [`JobTrace`]s — attempt-aware *causal span trees* over
+//!    the submission lifecycle (submit → enqueue → dequeue → fetch →
+//!    build → run → upload → grade), where every delivery attempt owns
+//!    a root span, stages hang off it tagged with the component that
+//!    did the work, and retries become sibling attempt subtrees;
+//! 4. exposition of the registry as Prometheus text or JSON, plus
+//!    trace-derived reports: [`critical_path`] / [`attribute`] turn
+//!    span trees into wall-clock attribution tables and
+//!    [`render_chrome_trace`] exports Perfetto-loadable JSON.
 //!
 //! Instrumented hot paths push directly into the registry; components
-//! that already keep their own cumulative stats (broker, store, db)
-//! register a *collector* closure instead, which mirrors those stats
-//! into the registry every time [`Telemetry::snapshot`] runs.
+//! that already keep their own cumulative stats (broker, store, db,
+//! the `rai-exec` pool) register a *collector* closure instead, which
+//! mirrors those stats into the registry every time
+//! [`Telemetry::snapshot`] runs.
 //!
 //! The crate also owns the shared statistics toolkit ([`OnlineStats`],
-//! [`Histogram`], [`TimeSeries`], [`Percentiles`]) that used to live in
-//! `rai-sim`, plus the [`log!`] leveled diagnostic macro.
+//! [`Histogram`], [`TimeSeries`], [`GaugeSeries`], [`Percentiles`],
+//! and the deterministic log-bucketed [`LogHistogram`]) that used to
+//! live in `rai-sim`, plus the [`log!`] leveled diagnostic macro.
 
+pub mod chrome;
+pub mod critical;
 pub mod export;
 pub mod json;
+pub mod latency;
 pub mod logging;
 pub mod registry;
 pub mod span;
 pub mod stats;
 pub mod trace;
 
+pub use chrome::render_chrome_trace;
+pub use critical::{attribute, critical_path, segment, Attribution, CriticalPath, PathSegment};
 pub use export::{parse_json_snapshot, parse_prometheus, render_json, render_prometheus, PromSample};
+pub use latency::{duration_micros, LatencySummary, LogHistogram};
 pub use logging::Level;
 pub use registry::{Counter, Gauge, HistogramHandle, MetricKey, MetricsRegistry, MetricsSnapshot};
 pub use span::{Span, SpanCollector, SpanRecord};
-pub use stats::{Histogram, OnlineStats, Percentiles, TimeSeries};
-pub use trace::{stage, JobTrace, StageEvent, TraceStore};
+pub use stats::{GaugeSeries, Histogram, OnlineStats, Percentiles, TimeSeries};
+pub use trace::{component, stage, JobTrace, SpanId, StageEvent, TraceSpan, TraceStore};
 
 use rai_sim::{SimTime, VirtualClock};
 use std::sync::Arc;
@@ -82,6 +95,14 @@ pub mod names {
     pub const FAULTS_INJECTED_TOTAL: &str = "rai_faults_injected_total";
     pub const JOBS_MALFORMED_TOTAL: &str = "rai_jobs_malformed_total";
     pub const WORKER_CRASHES_TOTAL: &str = "rai_worker_crashes_total";
+    // Trace-store hygiene.
+    pub const TRACES_DROPPED_LATE_TOTAL: &str = "rai_traces_dropped_late_total";
+    // Work-stealing executor pool counters (mirrored by a collector).
+    pub const EXEC_SPAWNED_TOTAL: &str = "rai_exec_spawned_total";
+    pub const EXEC_INLINE_RUNS_TOTAL: &str = "rai_exec_inline_runs_total";
+    pub const EXEC_STOLEN_TOTAL: &str = "rai_exec_stolen_total";
+    pub const EXEC_PARKED_TOTAL: &str = "rai_exec_parked_total";
+    pub const EXEC_INJECTED_TOTAL: &str = "rai_exec_injected_total";
 }
 
 type Collector = Box<dyn Fn(&MetricsRegistry) + Send + Sync>;
@@ -184,6 +205,26 @@ impl Telemetry {
         self.inner.traces.record(job_id, stage, at);
     }
 
+    /// Record a causal span: `stage` work done by `component` on
+    /// delivery `attempt` of `job_id`, covering `[start, end]`
+    /// sim-time. Retries land in sibling attempt subtrees.
+    pub fn trace_span(
+        &self,
+        job_id: u64,
+        attempt: u32,
+        stage: &'static str,
+        component: &'static str,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        self.inner.traces.record_span(job_id, attempt, stage, component, start, end);
+    }
+
+    /// Late span records dropped because their job's trace was evicted.
+    pub fn traces_dropped_late(&self) -> u64 {
+        self.inner.traces.dropped_late()
+    }
+
     /// One job's lifecycle trace, if retained.
     pub fn job_trace(&self, job_id: u64) -> Option<JobTrace> {
         self.inner.traces.get(job_id)
@@ -209,6 +250,10 @@ impl Telemetry {
         for collector in self.inner.collectors.lock().iter() {
             collector(&self.inner.registry);
         }
+        self.inner
+            .registry
+            .counter(names::TRACES_DROPPED_LATE_TOTAL, &[])
+            .store(self.inner.traces.dropped_late());
         self.inner.registry.snapshot()
     }
 

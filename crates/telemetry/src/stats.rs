@@ -390,6 +390,112 @@ impl TimeSeries {
     }
 }
 
+/// Sampled gauge values (queue depth, in-flight count, pool size)
+/// bucketed by fixed-width intervals of virtual time. Unlike
+/// [`TimeSeries`], which counts events, this tracks the *level* of a
+/// quantity: per bucket it keeps the max, the sum, and the sample
+/// count, so reports can plot peaks and means deterministically.
+#[derive(Clone, Debug)]
+pub struct GaugeSeries {
+    start: SimTime,
+    bucket: SimDuration,
+    max: Vec<u64>,
+    sum: Vec<u64>,
+    count: Vec<u64>,
+}
+
+impl GaugeSeries {
+    /// A series starting at `start` with buckets of width `bucket`.
+    pub fn new(start: SimTime, bucket: SimDuration) -> Self {
+        assert!(!bucket.is_zero(), "bucket width must be positive");
+        GaugeSeries {
+            start,
+            bucket,
+            max: Vec::new(),
+            sum: Vec::new(),
+            count: Vec::new(),
+        }
+    }
+
+    /// Record one sample of the gauge at time `t`. Samples before
+    /// `start` are ignored.
+    pub fn record(&mut self, t: SimTime, value: u64) {
+        if t < self.start {
+            return;
+        }
+        let idx = (t.duration_since(self.start).as_millis() / self.bucket.as_millis()) as usize;
+        if idx >= self.max.len() {
+            self.max.resize(idx + 1, 0);
+            self.sum.resize(idx + 1, 0);
+            self.count.resize(idx + 1, 0);
+        }
+        self.max[idx] = self.max[idx].max(value);
+        self.sum[idx] = self.sum[idx].saturating_add(value);
+        self.count[idx] += 1;
+    }
+
+    /// Per-bucket maxima, in time order.
+    pub fn maxes(&self) -> &[u64] {
+        &self.max
+    }
+
+    /// Integer mean of bucket `i` (0 when the bucket has no samples).
+    pub fn mean(&self, i: usize) -> u64 {
+        match self.count.get(i) {
+            Some(&c) if c > 0 => self.sum[i] / c,
+            _ => 0,
+        }
+    }
+
+    /// Total samples recorded.
+    pub fn samples(&self) -> u64 {
+        self.count.iter().sum()
+    }
+
+    /// Highest sampled value overall.
+    pub fn peak(&self) -> u64 {
+        self.max.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The bucket with the highest max as `(index, max)`, earliest wins
+    /// ties; `None` if no samples.
+    pub fn peak_bucket(&self) -> Option<(usize, u64)> {
+        if self.samples() == 0 {
+            return None;
+        }
+        self.max
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by_key(|&(i, v)| (v, std::cmp::Reverse(i)))
+    }
+
+    /// The start time of bucket `i`.
+    pub fn bucket_start(&self, i: usize) -> SimTime {
+        self.start + self.bucket * i as u64
+    }
+
+    /// Sparkline of per-bucket maxima with `cols` output columns
+    /// (buckets grouped by max). Empty series render as "".
+    pub fn sparkline(&self, cols: usize) -> String {
+        const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        if self.max.is_empty() || cols == 0 {
+            return String::new();
+        }
+        let group = self.max.len().div_ceil(cols);
+        let grouped: Vec<u64> = self
+            .max
+            .chunks(group)
+            .map(|c| c.iter().copied().max().unwrap_or(0))
+            .collect();
+        let peak = grouped.iter().copied().max().unwrap_or(0).max(1);
+        grouped
+            .iter()
+            .map(|&c| GLYPHS[((c * (GLYPHS.len() as u64 - 1)).div_ceil(peak)) as usize])
+            .collect()
+    }
+}
+
 /// Exact percentile summary over retained samples.
 #[derive(Clone, Debug, Default)]
 pub struct Percentiles {

@@ -1,9 +1,27 @@
-//! Property tests for the metrics registry and the statistics toolkit.
+//! Property tests for the metrics registry, the statistics toolkit,
+//! the deterministic log-bucketed latency histogram, and the causal
+//! span-tree trace store.
 
 use proptest::prelude::*;
 use rai_sim::{SimDuration, SimTime};
-use rai_telemetry::{Histogram, MetricsRegistry, OnlineStats, TimeSeries};
+use rai_telemetry::{
+    component, stage, Histogram, LogHistogram, MetricsRegistry, OnlineStats, TimeSeries,
+    TraceStore,
+};
 use std::sync::Arc;
+
+/// The worker-side stages a random attempt can record, with the
+/// component that owns each one.
+const ATTEMPT_STAGES: [(&str, &str); 8] = [
+    (stage::DEQUEUED, component::BROKER),
+    (stage::PULLED, component::SANDBOX),
+    (stage::FETCHED, component::STORE),
+    (stage::BUILT, component::SANDBOX),
+    (stage::RAN, component::SANDBOX),
+    (stage::UPLOADED, component::STORE),
+    (stage::RECORDED, component::DB),
+    (stage::CRASHED, component::FAULT),
+];
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
@@ -119,6 +137,122 @@ proptest! {
             registry.snapshot().counter("rai_test_total", &[("case", "prop")]),
             Some(expected)
         );
+    }
+
+    /// Any causal recording schedule (time advances within each job;
+    /// attempts recorded in delivery order, as the worker loop does)
+    /// yields a structurally well-formed span tree: unique ids, one
+    /// root per attempt, children nested inside their roots, and
+    /// attempt roots in disjoint time order.
+    #[test]
+    fn span_trees_are_well_formed(
+        jobs in prop::collection::vec(
+            // Per job: 1..4 worker attempts, each 1..5 stages of
+            // (stage index, duration ms).
+            prop::collection::vec(
+                prop::collection::vec((0usize..8, 0u64..5_000), 1..5),
+                1..4,
+            ),
+            1..6,
+        ),
+        gap_ms in 1u64..10_000,
+    ) {
+        let store = TraceStore::new();
+        for (job, attempts) in jobs.iter().enumerate() {
+            let job_id = job as u64;
+            let mut clock = 0u64;
+            store.record_span(
+                job_id, 0, stage::SUBMITTED, component::CLIENT,
+                SimTime::from_millis(clock), SimTime::from_millis(clock),
+            );
+            store.record_span(
+                job_id, 0, stage::ENQUEUED, component::BROKER,
+                SimTime::from_millis(clock), SimTime::from_millis(clock),
+            );
+            for (i, stages) in attempts.iter().enumerate() {
+                clock += gap_ms; // queue / redelivery wait
+                let attempt = (i + 1) as u32;
+                for &(stage_idx, dur_ms) in stages {
+                    let (name, comp) = ATTEMPT_STAGES[stage_idx];
+                    let start = clock;
+                    clock += dur_ms;
+                    store.record_span(
+                        job_id, attempt, name, comp,
+                        SimTime::from_millis(start), SimTime::from_millis(clock),
+                    );
+                }
+            }
+            let trace = store.get(job_id).expect("trace exists");
+            prop_assert!(
+                trace.well_formed().is_ok(),
+                "job {}: {}", job_id, trace.well_formed().unwrap_err()
+            );
+            prop_assert!(trace.is_monotone());
+            prop_assert_eq!(trace.roots().len(), attempts.len() + 1);
+            prop_assert_eq!(trace.final_attempt(), Some(attempts.len() as u32));
+            let recorded: usize = attempts.iter().map(Vec::len).sum();
+            prop_assert_eq!(trace.events().len(), recorded + 2);
+        }
+    }
+
+    /// LogHistogram merge is commutative and byte-identical to
+    /// recording the union sequentially, for any split of any sample
+    /// set — the property the cross-width export gate relies on.
+    #[test]
+    fn log_histogram_merge_matches_sequential(
+        xs in prop::collection::vec(0u64..10_000_000_000, 0..200),
+        split in 0usize..200,
+    ) {
+        let split = split.min(xs.len());
+        let mut whole = LogHistogram::new();
+        for &x in &xs {
+            whole.record_micros(x);
+        }
+        let (left, right) = xs.split_at(split);
+        let mut a = LogHistogram::new();
+        for &x in left { a.record_micros(x); }
+        let mut b = LogHistogram::new();
+        for &x in right { b.record_micros(x); }
+        let mut ba = b.clone();
+        ba.merge(&a);
+        a.merge(&b);
+        prop_assert_eq!(a.encode(), whole.encode());
+        prop_assert_eq!(ba.encode(), whole.encode());
+        prop_assert_eq!(&a, &whole);
+        prop_assert_eq!(&ba, &whole);
+    }
+
+    /// Quantiles are monotone in q, never undershoot the true
+    /// nearest-rank sample, and overshoot by at most one sub-bucket
+    /// (relative error ≤ 1/32); min/max/count/sum are exact.
+    #[test]
+    fn log_histogram_quantiles_are_sound(
+        xs in prop::collection::vec(0u64..100_000_000, 1..200),
+    ) {
+        let mut h = LogHistogram::new();
+        for &x in &xs {
+            h.record_micros(x);
+        }
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(h.count(), xs.len() as u64);
+        prop_assert_eq!(h.min_micros(), sorted[0]);
+        prop_assert_eq!(h.max_micros(), *sorted.last().unwrap());
+        prop_assert_eq!(h.sum_micros(), xs.iter().sum::<u64>());
+        prop_assert_eq!(h.count_le_micros(h.max_micros()), h.count());
+        let mut prev = 0u64;
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {
+            let got = h.quantile_micros(q);
+            prop_assert!(got >= prev, "quantiles not monotone at q={}", q);
+            prev = got;
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let truth = sorted[rank - 1];
+            prop_assert!(got >= truth, "q={} undershoots: {} < {}", q, got, truth);
+            prop_assert!(
+                got as f64 <= truth as f64 * (1.0 + 1.0 / 32.0) + 1.0,
+                "q={} overshoots: {} vs true {}", q, got, truth
+            );
+        }
     }
 
     /// Histogram totals are conserved when shards recorded on separate

@@ -18,7 +18,7 @@ use rai_core::worker::StepEvent;
 use rai_core::{ProjectDir, RaiSystem, SubmitMode, SystemConfig};
 use rai_faults::{CrashKind, FaultKind, FaultPlan};
 use rai_sim::{SimDuration, SimTime, VirtualClock};
-use rai_telemetry::MetricsSnapshot;
+use rai_telemetry::{component, stage, JobTrace, MetricsSnapshot};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Chaos-run parameters.
@@ -117,6 +117,10 @@ pub struct ChaosResult {
     pub fingerprint: u64,
     /// Telemetry snapshot at run end.
     pub metrics: MetricsSnapshot,
+    /// Per-job causal span trees. Crash-redelivered jobs carry one
+    /// subtree per delivery attempt (non-final attempts are the wasted
+    /// work the critical-path extractor charges to `retry-wait`).
+    pub traces: Vec<JobTrace>,
     /// File-server usage at run end (dedup ratios must hold under
     /// faults too — crash-redelivered uploads land on the same chunks).
     pub store: rai_store::StoreUsage,
@@ -279,6 +283,10 @@ pub fn run_chaos(config: &ChaosConfig) -> ChaosResult {
             match client.begin_submit(&project, mode) {
                 Ok(pending) => {
                     accepted.push(pending.job_id);
+                    let now = driver.clock.now();
+                    let t = driver.system.telemetry();
+                    t.trace_span(pending.job_id, 0, stage::SUBMITTED, component::CLIENT, now, now);
+                    t.trace_span(pending.job_id, 0, stage::ENQUEUED, component::BROKER, now, now);
                     // Keep the log subscription alive until the end so
                     // late frames from redelivered attempts land
                     // somewhere; dropped in bulk after the run.
@@ -362,6 +370,7 @@ pub fn run_chaos(config: &ChaosConfig) -> ChaosResult {
         })
         .unwrap_or_default();
     let metrics = driver.system.telemetry().snapshot();
+    let traces = driver.system.telemetry().job_traces();
     let store = driver.system.store().usage();
     ChaosResult {
         accepted,
@@ -375,6 +384,7 @@ pub fn run_chaos(config: &ChaosConfig) -> ChaosResult {
         standings,
         fingerprint: fp,
         metrics,
+        traces,
         store,
     }
 }

@@ -11,7 +11,10 @@ use rai_cluster::{InstanceType, PhaseSchedule, ReactiveAutoscaler, ScaleAction, 
 use rai_core::client::PendingJob;
 use rai_core::{RaiSystem, SubmitMode, SystemConfig};
 use rai_sim::{SimDuration, SimTime, Simulation, VirtualClock};
-use rai_telemetry::{names, stage, MetricsSnapshot, Percentiles, TimeSeries};
+use rai_telemetry::{
+    component, duration_micros, names, stage, GaugeSeries, JobTrace, LogHistogram,
+    MetricsSnapshot, TimeSeries,
+};
 use rai_store::StoreUsage;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -123,8 +126,21 @@ pub struct SemesterResult {
     pub window_timeline: TimeSeries,
     /// Submissions in the window (paper: 30 782).
     pub window_submissions: u64,
-    /// Queue-wait percentiles in seconds over the window (p50/p90/p99).
+    /// Queue-wait percentiles in seconds over the window (p50/p90/p99),
+    /// read from [`SemesterResult::queue_wait`]'s deterministic
+    /// log-bucketed histogram.
     pub queue_wait_secs: (f64, f64, f64),
+    /// The full queue-wait latency distribution (µs resolution,
+    /// byte-identical across same-seed runs and pool widths).
+    pub queue_wait: LogHistogram,
+    /// Broker queue depth sampled at every submit/dispatch transition,
+    /// bucketed hourly (per-bucket maxima show backpressure peaks).
+    pub depth_series: GaugeSeries,
+    /// Jobs in flight on the fleet, sampled alongside `depth_series`.
+    pub in_flight_series: GaugeSeries,
+    /// Per-job causal span trees (submit + every delivery attempt) for
+    /// critical-path attribution and Chrome trace export.
+    pub traces: Vec<JobTrace>,
     /// File-server usage at the end.
     pub store: StoreUsage,
     /// Fleet cost in cents over the project.
@@ -166,6 +182,10 @@ impl SemesterResult {
         for p in [p50, p90, p99] {
             eat(&p.to_bits().to_le_bytes());
         }
+        // The whole latency distribution, not just three quantiles: any
+        // scheduling leak that shifts a single queue wait by one
+        // microsecond breaks the fingerprint.
+        eat(self.queue_wait.encode().as_bytes());
         for n in [
             self.store.bytes_stored,
             self.store.bytes_physical,
@@ -208,7 +228,9 @@ struct SemState {
     // Metrics.
     full_timeline: TimeSeries,
     window_timeline: TimeSeries,
-    waits: Percentiles,
+    waits: LogHistogram,
+    depth_series: GaugeSeries,
+    in_flight_series: GaugeSeries,
     total: u64,
     failures: u64,
 }
@@ -230,6 +252,14 @@ impl SemState {
 
 type Sched<'a> = rai_sim::Scheduler<SemState>;
 
+/// Sample broker depth + fleet occupancy into the backpressure series.
+/// Called at every queue transition, so the hourly buckets hold true
+/// per-bucket maxima (a sample *between* transitions can't differ).
+fn sample_pressure(state: &mut SemState, now: SimTime) {
+    state.depth_series.record(now, state.waiting.len() as u64);
+    state.in_flight_series.record(now, state.in_flight as u64);
+}
+
 fn dispatch(state: &mut SemState, sched: &mut Sched<'_>) {
     let now = sched.now();
     while state.in_flight < state.capacity(now) && !state.waiting.is_empty() {
@@ -249,15 +279,17 @@ fn dispatch(state: &mut SemState, sched: &mut Sched<'_>) {
         debug_assert_eq!(outcome.job_id, expect_id);
         state
             .waits
-            .push(now.duration_since(submitted_at).as_secs_f64());
+            .record_micros(duration_micros(now.duration_since(submitted_at)));
         if !outcome.success {
             state.failures += 1;
         }
         // Drain the log stream so the ephemeral topic is GC'd.
         let _ = pending.wait(Duration::from_millis(50));
         state.in_flight += 1;
+        sample_pressure(state, now);
         sched.after(outcome.service_time, |state: &mut SemState, sched: &mut Sched<'_>| {
             state.in_flight -= 1;
+            sample_pressure(state, sched.now());
             dispatch(state, sched);
         });
     }
@@ -280,9 +312,11 @@ fn submit_event(state: &mut SemState, sched: &mut Sched<'_>, team_idx: usize, mo
         return;
     };
     state.total += 1;
+    // Attempt 0 is the client's submit subtree; upload + publish are
+    // one step, so the two spans share a timestamp.
     let telemetry = state.system.telemetry();
-    telemetry.trace_stage(pending.job_id, stage::SUBMITTED);
-    telemetry.trace_stage(pending.job_id, stage::ENQUEUED);
+    telemetry.trace_span(pending.job_id, 0, stage::SUBMITTED, component::CLIENT, now, now);
+    telemetry.trace_span(pending.job_id, 0, stage::ENQUEUED, component::BROKER, now, now);
     state.full_timeline.record(now);
     if now >= state.window_start {
         state.window_timeline.record(now);
@@ -290,6 +324,9 @@ fn submit_event(state: &mut SemState, sched: &mut Sched<'_>, team_idx: usize, mo
     state.waiting.push_back(pending.job_id);
     state.pending.insert(pending.job_id, (pending, now));
     dispatch(state, sched);
+    // Sample after dispatch: the series holds the *resting* depth, so a
+    // non-zero bucket means capacity was saturated, not merely touched.
+    sample_pressure(state, now);
 }
 
 /// Run the semester.
@@ -366,7 +403,9 @@ pub fn run_semester(config: &SemesterConfig) -> SemesterResult {
         next_worker: 0,
         full_timeline: TimeSeries::new(SimTime::ZERO, SimDuration::HOUR),
         window_timeline: TimeSeries::new(window_start, SimDuration::HOUR),
-        waits: Percentiles::new(),
+        waits: LogHistogram::new(),
+        depth_series: GaugeSeries::new(SimTime::ZERO, SimDuration::HOUR),
+        in_flight_series: GaugeSeries::new(SimTime::ZERO, SimDuration::HOUR),
         total: 0,
         failures: 0,
     };
@@ -443,11 +482,15 @@ pub fn run_semester(config: &SemesterConfig) -> SemesterResult {
     }
 
     sim.run();
-    let mut state = sim.into_state();
+    let state = sim.into_state();
     // Terminate the fleet at semester end so billing stops.
     state.pool.terminate_n(usize::MAX / 2);
 
-    let queue_wait_secs = state.waits.summary();
+    let queue_wait_secs = (
+        state.waits.quantile_micros(0.50) as f64 / 1e6,
+        state.waits.quantile_micros(0.90) as f64 / 1e6,
+        state.waits.quantile_micros(0.99) as f64 / 1e6,
+    );
     let standings = state.system.rankings().standings();
     // Dogfood the database's aggregation pipeline for the log tally.
     let log_bytes = {
@@ -472,6 +515,10 @@ pub fn run_semester(config: &SemesterConfig) -> SemesterResult {
         full_timeline: state.full_timeline,
         window_timeline: state.window_timeline,
         queue_wait_secs,
+        queue_wait: state.waits,
+        depth_series: state.depth_series,
+        in_flight_series: state.in_flight_series,
+        traces: state.system.telemetry().job_traces(),
         store: state.system.store().usage(),
         cost_cents: state.pool.stats().cost_cents,
         final_standings: standings,

@@ -55,6 +55,34 @@ proptest! {
     }
 }
 
+/// The observability exports derived from the causal span trees — the
+/// critical-path attribution table, the queue-wait histogram encoding,
+/// the backpressure sparkline, and the Chrome trace-event JSON — are
+/// byte-identical at every pool width, not just the scalar fingerprint.
+#[test]
+fn trace_exports_are_parallelism_invariant() {
+    let render = |parallelism: usize| {
+        let cfg = SemesterConfig::scaled(4, 6, 2016).with_parallelism(parallelism);
+        let result = run_semester(&cfg);
+        let sample = result.traces.len().min(64);
+        (
+            rai_telemetry::attribute(&result.traces).table(),
+            result.queue_wait.encode(),
+            result.depth_series.sparkline(32),
+            rai_telemetry::render_chrome_trace(&result.traces[..sample]),
+        )
+    };
+    let reference = render(1);
+    assert!(!reference.0.is_empty(), "attribution table rendered");
+    for threads in [2usize, 8] {
+        assert_eq!(
+            reference,
+            render(threads),
+            "trace exports diverged at parallelism {threads}"
+        );
+    }
+}
+
 /// The paper-shaped acceptance chaos profile (worker crashes, store
 /// faults, poison jobs, an instance death) is also width-invariant.
 #[test]
