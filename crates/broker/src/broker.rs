@@ -265,6 +265,19 @@ impl Broker {
         self.inner.publish_raw(topic, body.into(), false, true)
     }
 
+    /// Publish to a durable topic bypassing fault injection. This is
+    /// the crash-recovery path: re-publishing a journaled submission
+    /// intent that already survived its fault roll when it was first
+    /// accepted must not roll again (it would skew the deterministic
+    /// draw sequence and could drop an accepted job).
+    pub fn publish_durable(
+        &self,
+        topic: &str,
+        body: impl Into<Bytes>,
+    ) -> Result<MessageId, PublishError> {
+        self.inner.publish_raw(topic, body.into(), false, false)
+    }
+
     /// Publish to an ephemeral topic (created on first use; garbage
     /// collected once the last subscription drops). RAI's per-job
     /// `log_${job_id}` topics use this.

@@ -14,6 +14,7 @@ use crate::spec::{BuildSpec, SpecError, DEFAULT_BUILD_YML, FINAL_SUBMISSION_YML}
 use rai_archive::{write_container, FileTree};
 use rai_auth::{sign_request, Credentials};
 use rai_broker::{Broker, PublishError, RecvError, Subscription};
+use rai_db::{doc, Database};
 use rai_store::{ObjectStore, StoreError};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -259,6 +260,10 @@ pub struct RaiClient {
     next_job_id: Arc<AtomicU64>,
     /// Delta uploader with this client's per-project-dir digest cache.
     delta: DeltaUploader,
+    /// Durable deployments journal a submission intent here before
+    /// publishing, so a crash between "accepted" and "queued" is
+    /// recoverable (DESIGN.md §14).
+    intents: Option<Database>,
 }
 
 impl RaiClient {
@@ -277,7 +282,16 @@ impl RaiClient {
             store,
             next_job_id,
             delta: DeltaUploader::new(),
+            intents: None,
         }
+    }
+
+    /// Journal submission intents to `db`'s `intents` collection (and
+    /// through its write-ahead log) before publishing. Only meaningful
+    /// when `db` has a WAL attached.
+    pub fn with_intent_ledger(mut self, db: Database) -> Self {
+        self.intents = Some(db);
+        self
     }
 
     /// Route this client's chunking + digesting onto `exec`. Uploads
@@ -392,17 +406,44 @@ impl RaiClient {
             &request.signing_payload(),
         );
         let encoded = request.encode();
+
+        // Durability point: journal the accepted submission *before*
+        // publishing and force it to stable storage. If the process
+        // dies with the request queued (or about to be), recovery
+        // finds the intent, sees no terminal submissions row, and
+        // re-publishes — zero lost submissions (DESIGN.md §14).
+        if let Some(db) = &self.intents {
+            db.collection("intents").write().insert_one(doc! {
+                "job_id" => job_id as i64,
+                "team" => self.team.as_str(),
+                "state" => "pending",
+                "req" => encoded.as_str(),
+            });
+            db.sync_wal();
+        }
         let mut attempts = 0;
-        loop {
+        let published = loop {
             attempts += 1;
             match self.broker.publish(routes::TASK_TOPIC, encoded.clone()) {
-                Ok(_) => break,
+                Ok(_) => break Ok(()),
                 Err(PublishError::Unavailable { .. }) if attempts < CLIENT_RETRY_ATTEMPTS => {
                     continue
                 }
-                Err(e) => return Err(e.into()),
+                Err(e) => break Err(e),
             }
+        };
+        if let Some(db) = &self.intents {
+            // "rejected" intents surfaced an error to the student and
+            // are never re-published; "published" ones are in the
+            // at-least-once pipeline.
+            let state = if published.is_ok() { "published" } else { "rejected" };
+            db.collection("intents").write().update_one(
+                &doc! { "job_id" => job_id as i64 },
+                &doc! { "$set" => doc! { "state" => state } },
+                false,
+            );
         }
+        published?;
 
         // ⑤ Subscribe to the ephemeral log topic. (The topic backlog
         // holds any frames the worker emitted before we got here.)

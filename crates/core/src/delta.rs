@@ -14,7 +14,7 @@ use rai_archive::chunk::{chunk_bytes_on, Chunk, ChunkerParams};
 use rai_exec::Executor;
 use rai_store::{ObjectStore, StoreError};
 use std::collections::{BTreeMap, HashSet};
-use std::sync::Mutex;
+use parking_lot::Mutex;
 
 /// What a delta upload actually cost.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -80,7 +80,7 @@ impl DeltaUploader {
 
     /// Digests currently cached as store-resident.
     pub fn cached(&self) -> usize {
-        self.cache.lock().expect("cache lock").len()
+        self.cache.lock().len()
     }
 
     /// Upload `payload` to `bucket/key` sending only missing chunks.
@@ -105,7 +105,7 @@ impl DeltaUploader {
         // MissingChunks rejection) bypasses it.
         for trust_cache in [true, false] {
             let unknown: Vec<u64> = {
-                let cache = self.cache.lock().expect("cache lock");
+                let cache = self.cache.lock();
                 by_digest
                     .keys()
                     .filter(|d| !(trust_cache && cache.contains(d)))
@@ -121,7 +121,7 @@ impl DeltaUploader {
                 .collect();
             match store.put_delta(bucket, key, &manifest, &to_send, user_meta.clone()) {
                 Ok(etag) => {
-                    let mut cache = self.cache.lock().expect("cache lock");
+                    let mut cache = self.cache.lock();
                     cache.extend(by_digest.keys().copied());
                     return Ok(DeltaReceipt {
                         etag,
@@ -132,7 +132,7 @@ impl DeltaUploader {
                     });
                 }
                 Err(StoreError::MissingChunks { missing }) if trust_cache => {
-                    let mut cache = self.cache.lock().expect("cache lock");
+                    let mut cache = self.cache.lock();
                     for d in missing {
                         cache.remove(&d);
                     }

@@ -50,9 +50,9 @@ pub mod spec;
 pub mod system;
 pub mod worker;
 
-pub use client::{ProjectDir, RaiClient, SubmitError, SubmitMode, SubmitReceipt};
+pub use client::{PendingJob, ProjectDir, RaiClient, SubmitError, SubmitMode, SubmitReceipt};
 pub use delta::{DeltaReceipt, DeltaUploader};
 pub use ranking::{RankEntry, RankingBoard};
 pub use spec::{BuildSpec, SpecError};
-pub use system::{RaiSystem, SystemConfig};
+pub use system::{RaiSystem, RecoveryReport, SystemConfig};
 pub use worker::{CrashReport, JobOutcome, StepEvent, Worker, WorkerConfig};

@@ -18,9 +18,10 @@ use rai_db::{doc, Database};
 use rai_exec::Executor;
 use rai_sandbox::{ImageRegistry, ResourceLimits};
 use rai_sim::{SimDuration, VirtualClock};
-use rai_store::{LifecycleRule, ObjectStore, StoreUsage};
+use rai_store::{LifecycleRule, ObjectStore, StoreRecovery, StoreUsage};
 use rai_telemetry::{component, names, stage, MetricsSnapshot, Telemetry};
-use std::sync::atomic::AtomicU64;
+use rai_wal::{DurabilityConfig, LogBackend, Wal};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -61,6 +62,13 @@ pub struct SystemConfig {
     /// byte-identical at every setting; only wall-clock differs
     /// (DESIGN.md §12).
     pub parallelism: usize,
+    /// Durability knobs for the write-ahead logs behind the database
+    /// and the object store. Disabled by default — the preserved
+    /// in-memory configuration, byte-identical to pre-WAL behaviour.
+    /// Takes effect through [`RaiSystem::with_clock_durable`] /
+    /// [`RaiSystem::recover_with_clock`], which supply the log
+    /// backends (DESIGN.md §14).
+    pub durability: DurabilityConfig,
 }
 
 impl Default for SystemConfig {
@@ -76,8 +84,18 @@ impl Default for SystemConfig {
             fault_plan: None,
             db_hot_indexes: true,
             parallelism: 1,
+            durability: DurabilityConfig::default(),
         }
     }
+}
+
+/// What crash recovery replayed from the two write-ahead logs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RecoveryReport {
+    /// Database replay outcome.
+    pub db: rai_db::DbRecovery,
+    /// Object-store replay outcome.
+    pub store: StoreRecovery,
 }
 
 /// Aggregate usage numbers (paper §VII "Resource Usage").
@@ -127,6 +145,82 @@ impl RaiSystem {
     /// Stand up a deployment on an existing clock (for discrete-event
     /// drivers).
     pub fn with_clock(config: SystemConfig, clock: VirtualClock) -> Self {
+        let store = ObjectStore::new(clock.clone());
+        let db = Database::new();
+        Self::finish_deploy(config, clock, db, store, None)
+    }
+
+    /// Stand up a *durable* deployment: every committed database and
+    /// store mutation is journaled to the supplied log backends, and
+    /// [`RaiSystem::recover_with_clock`] can rebuild the deployment
+    /// from them after a crash (DESIGN.md §14).
+    pub fn with_clock_durable(
+        config: SystemConfig,
+        clock: VirtualClock,
+        db_log: Arc<dyn LogBackend>,
+        store_log: Arc<dyn LogBackend>,
+    ) -> Self {
+        let store = ObjectStore::new(clock.clone());
+        let db = Database::new();
+        // Attach before the first mutation so the logs cover the whole
+        // history — bucket creation and index builds included.
+        db.attach_wal(Wal::open(db_log, config.durability));
+        store.attach_wal(Wal::open(store_log, config.durability));
+        Self::finish_deploy(config, clock, db, store, None)
+    }
+
+    /// Rebuild a deployment from its write-ahead logs after a crash.
+    ///
+    /// Process state (broker queues, worker claims, in-memory
+    /// credentials) died with the process and is stood up fresh;
+    /// durable state (database, store) is replayed. The caller then
+    /// re-registers teams in their original order (credentials are
+    /// deterministic in seed + order), re-subscribes any audit taps,
+    /// and calls [`RaiSystem::republish_pending`] to re-enqueue
+    /// accepted submissions that never reached a terminal row — the
+    /// at-least-once path that makes a mid-run kill recoverable.
+    ///
+    /// `injector` carries over the *environment's* fault state: the
+    /// injector's draw counters model the outside world (which doesn't
+    /// reset when the service restarts), so restart-resume runs pass
+    /// the pre-kill injector here. `None` creates a fresh one from
+    /// `config.fault_plan`.
+    pub fn recover_with_clock(
+        config: SystemConfig,
+        clock: VirtualClock,
+        db_log: Arc<dyn LogBackend>,
+        store_log: Arc<dyn LogBackend>,
+        injector: Option<FaultInjector>,
+    ) -> (Self, RecoveryReport) {
+        let (db, db_recovery) = Database::recover(Wal::open(db_log, config.durability));
+        let (store, store_recovery) =
+            ObjectStore::recover(clock.clone(), Wal::open(store_log, config.durability));
+        let system = Self::finish_deploy(config, clock, db, store, injector);
+        // Job ids resume after the highest journaled intent so
+        // post-recovery submissions never collide with replayed ones.
+        let max_seen = system
+            .db
+            .collection("intents")
+            .read()
+            .find(&doc! {})
+            .iter()
+            .filter_map(|row| row.get("job_id").and_then(rai_db::Value::as_i64))
+            .max()
+            .unwrap_or(0);
+        system.next_job_id.store(max_seen as u64 + 1, Ordering::Relaxed);
+        (system, RecoveryReport { db: db_recovery, store: store_recovery })
+    }
+
+    /// Shared tail of every constructor: buckets/indexes (idempotent —
+    /// replayed state is left alone), fault layer, worker fleet,
+    /// telemetry collectors.
+    fn finish_deploy(
+        config: SystemConfig,
+        clock: VirtualClock,
+        db: Database,
+        store: ObjectStore,
+        injector_override: Option<FaultInjector>,
+    ) -> Self {
         let broker = Broker::with_clock(
             BrokerConfig {
                 max_attempts: config.broker_attempts,
@@ -138,15 +232,17 @@ impl RaiSystem {
         // uploads and server-side validation share it, mirroring how a
         // real host's cores are shared across the pipeline.
         let executor = Executor::new(config.parallelism);
-        let store = ObjectStore::new(clock.clone());
         store.set_executor(executor.clone());
-        store
-            .create_bucket(UPLOAD_BUCKET, LifecycleRule::one_month_after_last_use())
-            .expect("fresh store");
-        store
-            .create_bucket(BUILD_BUCKET, LifecycleRule::AfterUpload(SimDuration::from_days(90)))
-            .expect("fresh store");
-        let db = Database::new();
+        if !store.has_bucket(UPLOAD_BUCKET) {
+            store
+                .create_bucket(UPLOAD_BUCKET, LifecycleRule::one_month_after_last_use())
+                .expect("bucket absence just checked");
+        }
+        if !store.has_bucket(BUILD_BUCKET) {
+            store
+                .create_bucket(BUILD_BUCKET, LifecycleRule::AfterUpload(SimDuration::from_days(90)))
+                .expect("bucket absence just checked");
+        }
         if config.db_hot_indexes {
             // The write paths these serve: one submissions upsert per
             // job attempt (keyed by job_id), one rankings upsert per
@@ -158,11 +254,20 @@ impl RaiSystem {
             rankings.write().create_index("runtime_secs");
             db.collection("teams").write().create_index("team");
         }
+        if db.wal().is_some() {
+            // The recovery path scans intents by job_id (one point
+            // lookup per accepted submission).
+            db.collection("intents").write().create_index("job_id");
+        }
         let registry = Arc::new(RwLock::new(CredentialRegistry::new()));
         let images = Arc::new(ImageRegistry::course_default());
         let telemetry = Telemetry::new(clock.clone());
-        // Attach the deterministic fault layer before any traffic flows.
-        let injector = config.fault_plan.clone().map(FaultInjector::new);
+        // Attach the deterministic fault layer before any traffic
+        // flows. A recovery pass hands in the pre-crash injector: its
+        // draw counters model the environment, which does not reset
+        // when the service restarts.
+        let injector = injector_override
+            .or_else(|| config.fault_plan.clone().map(FaultInjector::new));
         if let Some(inj) = &injector {
             store.set_fault_injector(inj.clone());
             db.set_fault_injector(inj.clone());
@@ -214,9 +319,9 @@ impl RaiSystem {
                     }
                 });
             }
-            let store = store.clone();
+            let store2 = store.clone();
             telemetry.register_collector(move |reg| {
-                let u = store.usage();
+                let u = store2.usage();
                 reg.counter(names::STORE_BYTES_UPLOADED_TOTAL, &[]).store(u.bytes_uploaded);
                 reg.counter(names::STORE_BYTES_DOWNLOADED_TOTAL, &[]).store(u.bytes_downloaded);
                 reg.counter(names::STORE_PUTS_TOTAL, &[]).store(u.puts);
@@ -253,6 +358,23 @@ impl RaiSystem {
                 reg.counter(names::EXEC_PARKED_TOTAL, &[]).store(s.parked);
                 reg.counter(names::EXEC_INJECTED_TOTAL, &[]).store(s.injected);
             });
+            // Write-ahead log counters, one label set per journal.
+            for (label, wal) in [("db", db.wal()), ("store", store.wal())] {
+                let Some(wal) = wal else { continue };
+                telemetry.register_collector(move |reg| {
+                    let s = wal.stats();
+                    let l = &[("log", label)];
+                    reg.counter(names::WAL_APPENDS_TOTAL, l).store(s.appends);
+                    reg.counter(names::WAL_BYTES_TOTAL, l).store(s.bytes);
+                    reg.counter(names::WAL_FSYNC_BATCHES_TOTAL, l).store(s.fsync_batches);
+                    reg.counter(names::WAL_REPLAYED_RECORDS_TOTAL, l).store(s.replayed);
+                    reg.counter(names::WAL_CORRUPT_RECORDS_DROPPED_TOTAL, l)
+                        .store(s.corrupt_dropped);
+                    reg.counter(names::WAL_COMPACTIONS_TOTAL, l).store(s.compactions);
+                    reg.gauge(names::WAL_SEGMENTS, l).set(s.segments as f64);
+                    reg.gauge(names::WAL_LOG_BYTES, l).set(s.log_bytes as f64);
+                });
+            }
         }
         let rate_limiter = config
             .rate_limit
@@ -288,6 +410,80 @@ impl RaiSystem {
         creds
     }
 
+    /// Re-issue a recovered team's credentials without inserting a new
+    /// teams row (the row was replayed from the log). The key
+    /// generator is deterministic in (seed, call order), so
+    /// re-registering teams in their original order reproduces the
+    /// original credentials — and the signatures inside journaled job
+    /// requests keep verifying after a restart.
+    pub fn reregister_team(&mut self, team: &str) -> Credentials {
+        let creds = self.keygen.generate(team);
+        self.registry.write().register(creds.clone());
+        creds
+    }
+
+    /// Journaled submission intents with no terminal submissions row,
+    /// in job-id (= original publish) order: `(job_id, encoded
+    /// request)`. These are the accepted submissions a crash left
+    /// in flight.
+    pub fn pending_intents(&self) -> Vec<(u64, String)> {
+        let intents = self.db.collection("intents");
+        let submissions = self.db.collection("submissions");
+        let mut out: Vec<(u64, String)> = Vec::new();
+        for row in intents.read().find(&doc! {}) {
+            let Some(id) = row.get("job_id").and_then(rai_db::Value::as_i64) else { continue };
+            let Some(state) = row.get("state").and_then(rai_db::Value::as_str) else { continue };
+            let Some(req) = row.get("req").and_then(rai_db::Value::as_str) else { continue };
+            // "rejected" intents surfaced a visible error to the
+            // student; everything else is at-least-once territory.
+            if state != "pending" && state != "published" {
+                continue;
+            }
+            if submissions
+                .read()
+                .find_one(&doc! { "job_id" => id })
+                .is_some()
+            {
+                continue;
+            }
+            out.push((id as u64, req.to_string()));
+        }
+        out.sort_by_key(|(id, _)| *id);
+        out
+    }
+
+    /// Re-enqueue every pending intent after recovery (the broker's
+    /// queues died with the process). Publishes bypass fault
+    /// injection — each request already survived its fault roll when
+    /// first accepted. Returns how many jobs were re-published.
+    pub fn republish_pending(&self) -> u64 {
+        let mut republished = 0u64;
+        for (_, req) in self.pending_intents() {
+            if self
+                .broker
+                .publish_durable(crate::protocol::routes::TASK_TOPIC, req.into_bytes())
+                .is_ok()
+            {
+                republished += 1;
+            }
+        }
+        republished
+    }
+
+    /// Force both write-ahead logs' buffered appends to stable
+    /// storage. No-op for non-durable deployments.
+    pub fn sync_wals(&self) {
+        self.db.sync_wal();
+        self.store.sync_wal();
+    }
+
+    /// Compact both logs if their size warrants it (quiesced points
+    /// only — e.g. between submission rounds). Returns (db, store)
+    /// compaction flags.
+    pub fn maybe_compact(&self) -> (bool, bool) {
+        (self.db.maybe_compact(), self.store.maybe_compact())
+    }
+
     /// Register an instructor: issues credentials and grants interactive
     /// session access (the paper's §VIII future work).
     pub fn register_instructor(&mut self, name: &str) -> Credentials {
@@ -309,14 +505,21 @@ impl RaiSystem {
 
     /// A client handle for previously issued credentials.
     pub fn client_for(&self, creds: &Credentials) -> RaiClient {
-        RaiClient::new(
+        let mut client = RaiClient::new(
             creds.clone(),
             &creds.user_name,
             self.broker.clone(),
             self.store.clone(),
             self.next_job_id.clone(),
         )
-        .with_executor(self.executor.clone())
+        .with_executor(self.executor.clone());
+        if self.db.wal().is_some() {
+            // Durable deployments journal a submission intent before
+            // publishing, closing the accepted-but-unqueued crash
+            // window (DESIGN.md §14).
+            client = client.with_intent_ledger(self.db.clone());
+        }
+        client
     }
 
     fn check_rate(&self, creds: &Credentials) -> Result<(), SubmitError> {
@@ -643,5 +846,124 @@ mod tests {
         for p in pendings {
             assert!(p.wait(Duration::from_millis(500)).unwrap().success);
         }
+    }
+
+    #[test]
+    fn durable_system_recovers_db_store_and_resumes_submissions() {
+        let db_disk = rai_wal::MemDisk::new();
+        let store_disk = rai_wal::MemDisk::new();
+        let config = SystemConfig {
+            rate_limit: None,
+            durability: rai_wal::DurabilityConfig::durable(),
+            ..Default::default()
+        };
+        let clock = VirtualClock::new();
+        let mut system = RaiSystem::with_clock_durable(
+            config.clone(),
+            clock.clone(),
+            Arc::new(db_disk.clone()),
+            Arc::new(store_disk.clone()),
+        );
+        let creds = system.register_team("durable", &["alice"]);
+        for _ in 0..2 {
+            assert!(system.submit(&creds, &ProjectDir::sample_cuda_project()).unwrap().success);
+        }
+        system.sync_wals();
+        let rows_before = system.db().collection("submissions").read().find(&doc! {}).len();
+        let usage_before = system.store().usage();
+        let at = clock.now();
+        drop(system);
+
+        // "Restart": rebuild the whole process from the two logs.
+        let clock2 = VirtualClock::starting_at(at);
+        let (mut recovered, report) = RaiSystem::recover_with_clock(
+            config,
+            clock2,
+            Arc::new(db_disk),
+            Arc::new(store_disk),
+            None,
+        );
+        assert!(report.db.stats.replayed > 0);
+        assert!(report.store.stats.replayed > 0);
+        assert_eq!(report.db.malformed_dropped, 0);
+        assert_eq!(report.store.objects_dropped, 0);
+        assert_eq!(
+            recovered.db().collection("submissions").read().find(&doc! {}).len(),
+            rows_before
+        );
+        let usage_after = recovered.store().usage();
+        assert_eq!(usage_after.objects, usage_before.objects);
+        assert_eq!(usage_after.bytes_stored, usage_before.bytes_stored);
+        assert_eq!(usage_after.bytes_physical, usage_before.bytes_physical);
+        // Completed intents never re-publish.
+        assert!(recovered.pending_intents().is_empty());
+        assert_eq!(recovered.republish_pending(), 0);
+        // The re-issued credentials match (deterministic keygen) and
+        // the system keeps accepting work with fresh job ids.
+        let creds2 = recovered.reregister_team("durable");
+        assert_eq!(creds2.access_key, creds.access_key);
+        assert_eq!(creds2.secret_key, creds.secret_key);
+        let receipt = recovered.submit(&creds2, &ProjectDir::sample_cuda_project()).unwrap();
+        assert!(receipt.success);
+        assert_eq!(
+            recovered.db().collection("submissions").read().find(&doc! {}).len(),
+            rows_before + 1
+        );
+    }
+
+    #[test]
+    fn crash_before_publish_leaves_recoverable_intent() {
+        let db_disk = rai_wal::MemDisk::new();
+        let store_disk = rai_wal::MemDisk::new();
+        let config = SystemConfig {
+            rate_limit: None,
+            durability: rai_wal::DurabilityConfig::durable(),
+            ..Default::default()
+        };
+        let clock = VirtualClock::new();
+        let mut system = RaiSystem::with_clock_durable(
+            config.clone(),
+            clock.clone(),
+            Arc::new(db_disk.clone()),
+            Arc::new(store_disk.clone()),
+        );
+        let creds = system.register_team("t", &[]);
+        let client = system.client_for(&creds);
+        let pending = client
+            .begin_submit(&ProjectDir::sample_cuda_project(), SubmitMode::Run)
+            .unwrap();
+        let job_id = pending.job_id;
+        // Crash before any worker touches the queue: the broker's
+        // in-memory queue is lost, but the intent (synced at accept
+        // time) and the uploaded project (journaled by the store)
+        // both survive.
+        drop(pending);
+        drop(system);
+        let clock2 = VirtualClock::starting_at(clock.now());
+        let (mut recovered, _) = RaiSystem::recover_with_clock(
+            config,
+            clock2,
+            Arc::new(db_disk),
+            Arc::new(store_disk),
+            None,
+        );
+        recovered.reregister_team("t");
+        let pending = recovered.pending_intents();
+        assert_eq!(pending.len(), 1);
+        assert_eq!(pending[0].0, job_id);
+        assert_eq!(recovered.republish_pending(), 1);
+        let outcomes = recovered.drain();
+        assert_eq!(outcomes.len(), 1);
+        // Exactly one terminal row; the job is not pending anymore.
+        assert_eq!(
+            recovered
+                .db()
+                .collection("submissions")
+                .read()
+                .find(&doc! { "job_id" => job_id as i64 })
+                .len(),
+            1
+        );
+        assert!(recovered.pending_intents().is_empty());
     }
 }

@@ -2,12 +2,14 @@
 //! planner that routes eligible predicates through secondary indexes.
 
 use crate::index::Index;
+use crate::journal::{DbRecord, JournalSink};
 use crate::query::matches;
 use crate::update::apply_update;
 use crate::value::{Document, Value};
 use std::collections::{BTreeMap, HashMap};
 use std::ops::Bound;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Document identifier (stored in the document as `_id`).
 pub type DocId = u64;
@@ -103,6 +105,10 @@ pub struct Collection {
     inserts: AtomicU64,
     queries: AtomicU64,
     updates: AtomicU64,
+    /// Durability hook: when attached, every committed mutation appends
+    /// a logical [`DbRecord`] before applying. `None` (the default) is
+    /// the preserved zero-overhead in-memory configuration.
+    journal: Option<Arc<JournalSink>>,
 }
 
 impl Collection {
@@ -130,8 +136,25 @@ impl Collection {
         }
     }
 
+    /// Attach (or detach) the durability sink. Set by
+    /// [`Database`](crate::Database) when a WAL is configured; replay
+    /// runs with the sink detached so recovery never re-journals.
+    pub(crate) fn set_journal(&mut self, journal: Option<Arc<JournalSink>>) {
+        self.journal = journal;
+    }
+
     /// Insert a document, assigning and returning its `_id`.
-    pub fn insert_one(&mut self, mut doc: Document) -> DocId {
+    pub fn insert_one(&mut self, doc: Document) -> DocId {
+        if let Some(j) = &self.journal {
+            j.append(&DbRecord::InsertOne { coll: j.coll().to_string(), doc: doc.clone() });
+        }
+        self.insert_one_inner(doc)
+    }
+
+    /// The journal-free insert path: shared by [`Collection::insert_one`],
+    /// upsert (whose enclosing update is journaled as one record), and
+    /// replay.
+    pub(crate) fn insert_one_inner(&mut self, mut doc: Document) -> DocId {
         self.inserts.fetch_add(1, Ordering::Relaxed);
         self.next_id += 1;
         let id = self.next_id;
@@ -150,6 +173,14 @@ impl Collection {
     /// rows (one cache-warm walk per index instead of an index round
     /// per document).
     pub fn insert_many(&mut self, docs: impl IntoIterator<Item = Document>) -> Vec<DocId> {
+        let docs: Vec<Document> = docs.into_iter().collect();
+        if let Some(j) = &self.journal {
+            j.append(&DbRecord::InsertMany { coll: j.coll().to_string(), docs: docs.clone() });
+        }
+        self.insert_many_inner(docs)
+    }
+
+    pub(crate) fn insert_many_inner(&mut self, docs: Vec<Document>) -> Vec<DocId> {
         let mut ids = Vec::new();
         for mut doc in docs {
             self.inserts.fetch_add(1, Ordering::Relaxed);
@@ -173,6 +204,18 @@ impl Collection {
     /// Build a secondary index on a dotted path (also indexes existing
     /// documents). Re-creating an existing index is a no-op.
     pub fn create_index(&mut self, field: &str) {
+        if !self.indexes.contains_key(field) {
+            if let Some(j) = &self.journal {
+                j.append(&DbRecord::CreateIndex {
+                    coll: j.coll().to_string(),
+                    field: field.to_string(),
+                });
+            }
+        }
+        self.create_index_inner(field);
+    }
+
+    pub(crate) fn create_index_inner(&mut self, field: &str) {
         if self.indexes.contains_key(field) {
             return;
         }
@@ -183,6 +226,35 @@ impl Collection {
             }
         }
         self.indexes.insert(field.to_string(), idx);
+    }
+
+    /// Compaction snapshot: `_id` allocator, indexed paths (sorted),
+    /// and every document with its `_id`, in id order.
+    pub(crate) fn snapshot(&self) -> (u64, Vec<String>, Vec<Document>) {
+        let mut indexes: Vec<String> = self.indexes.keys().cloned().collect();
+        indexes.sort();
+        (self.next_id, indexes, self.docs.values().cloned().collect())
+    }
+
+    /// Restore from a compaction snapshot: documents land under their
+    /// recorded `_id`s and every index is rebuilt. Journaling stays
+    /// whatever it was (recovery runs detached).
+    pub(crate) fn restore(&mut self, next_id: u64, indexes: Vec<String>, docs: Vec<Document>) {
+        self.docs.clear();
+        self.indexes.clear();
+        self.next_id = next_id;
+        for doc in docs {
+            let id = match doc.get("_id") {
+                Some(Value::Int(id)) => *id as DocId,
+                // A snapshot doc without a valid _id cannot be placed;
+                // skip it rather than corrupt the keyspace.
+                _ => continue,
+            };
+            self.docs.insert(id, doc);
+        }
+        for field in indexes {
+            self.create_index_inner(&field);
+        }
     }
 
     /// Whether `field` has an index.
@@ -460,6 +532,13 @@ impl Collection {
 
     /// Update every matching document.
     pub fn update_many(&mut self, query: &Document, update: &Document) -> UpdateResult {
+        if let Some(j) = &self.journal {
+            j.append(&DbRecord::UpdateMany {
+                coll: j.coll().to_string(),
+                query: query.clone(),
+                update: update.clone(),
+            });
+        }
         self.updates.fetch_add(1, Ordering::Relaxed);
         let ids: Vec<DocId> = match self.candidates(query) {
             Some(ids) => ids
@@ -494,6 +573,14 @@ impl Collection {
     /// fields seed the new document — this is how RAI's ranking table
     /// does "overwrite existing timing records" per team.
     pub fn update_one(&mut self, query: &Document, update: &Document, upsert: bool) -> UpdateResult {
+        if let Some(j) = &self.journal {
+            j.append(&DbRecord::UpdateOne {
+                coll: j.coll().to_string(),
+                query: query.clone(),
+                update: update.clone(),
+                upsert,
+            });
+        }
         self.updates.fetch_add(1, Ordering::Relaxed);
         let id = match self.candidates(query) {
             Some(ids) => ids
@@ -528,7 +615,9 @@ impl Collection {
                     }
                 }
                 apply_update(update, &mut seed);
-                let id = self.insert_one(seed);
+                // The enclosing update_one was already journaled as one
+                // record; the upsert insert must not journal again.
+                let id = self.insert_one_inner(seed);
                 UpdateResult {
                     matched: 0,
                     modified: 0,
@@ -541,6 +630,9 @@ impl Collection {
 
     /// Delete every matching document; returns how many were removed.
     pub fn delete_many(&mut self, query: &Document) -> usize {
+        if let Some(j) = &self.journal {
+            j.append(&DbRecord::DeleteMany { coll: j.coll().to_string(), query: query.clone() });
+        }
         self.updates.fetch_add(1, Ordering::Relaxed);
         let ids = self.matching_ids(query);
         for id in &ids {

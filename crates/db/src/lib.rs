@@ -35,13 +35,15 @@ pub mod aggregate;
 pub mod collection;
 pub mod database;
 pub mod index;
+pub mod journal;
 pub mod query;
 pub mod update;
 pub mod value;
 
 pub use aggregate::{aggregate, Accumulator, Stage};
 pub use collection::{Collection, CollectionStats, DocId, FindOptions, SortOrder};
-pub use database::{Database, DbError};
+pub use database::{Database, DbError, DbRecovery};
+pub use journal::DbRecord;
 pub use query::matches;
 pub use update::apply_update;
 pub use value::{Document, Value};

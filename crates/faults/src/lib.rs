@@ -356,6 +356,91 @@ impl FaultInjector {
     }
 }
 
+/// A single corruption applied to the unsynced tail of a log segment
+/// when a process dies mid-write. Produced by [`DiskFaultProfile`];
+/// consumed by the WAL's simulated disk, which mutates the crashed
+/// segment before recovery replays it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskFault {
+    /// The final `drop_bytes` of the segment never hit the platter.
+    TornTail {
+        /// Bytes cut from the end of the segment.
+        drop_bytes: u64,
+    },
+    /// One bit of the segment is flipped (a misdirected or decayed
+    /// write). Recovery must detect this via the record CRC.
+    BitFlip {
+        /// Byte offset of the flipped bit, modulo the segment length.
+        offset: u64,
+        /// Which bit (0–7) within that byte flips.
+        bit: u8,
+    },
+    /// A short read: only the first `keep` bytes of the segment are
+    /// returned to the recovering process.
+    ShortRead {
+        /// Bytes visible to the reader.
+        keep: u64,
+    },
+}
+
+/// Seeded profile deciding which [`DiskFault`]s a crash leaves behind.
+///
+/// Decisions are pure functions of `(seed, crash_index, tail_len)` —
+/// they draw from their own key space and never touch the four shared
+/// [`FaultInjector`] draw counters, so enabling disk faults does not
+/// perturb the store/db/broker fault streams.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiskFaultProfile {
+    /// Seed from which every disk-fault decision derives.
+    pub seed: u64,
+    /// Probability that a crash tears the unsynced tail.
+    pub torn_tail: f64,
+    /// Probability that a crash flips one bit somewhere in the segment.
+    pub bit_flip: f64,
+    /// Probability that recovery sees a short read of the segment.
+    pub short_read: f64,
+}
+
+impl DiskFaultProfile {
+    /// A profile that corrupts nothing: crashes lose only bytes that
+    /// were never synced.
+    pub fn none(seed: u64) -> Self {
+        DiskFaultProfile { seed, torn_tail: 0.0, bit_flip: 0.0, short_read: 0.0 }
+    }
+
+    /// The chaos profile: most crashes tear the tail, a meaningful
+    /// fraction flip a bit or short-read on top.
+    pub fn chaos(seed: u64) -> Self {
+        DiskFaultProfile { seed, torn_tail: 0.6, bit_flip: 0.25, short_read: 0.15 }
+    }
+
+    /// The faults left behind by crash number `crash_index` on a
+    /// segment whose unsynced tail is `tail_len` bytes long (the synced
+    /// prefix is durable by contract and never corrupted). Pure in
+    /// `(self, crash_index, tail_len)`.
+    pub fn faults_for_crash(&self, crash_index: u64, tail_len: u64) -> Vec<DiskFault> {
+        let mut faults = Vec::new();
+        if tail_len == 0 {
+            return faults;
+        }
+        let s = self.seed;
+        if to_unit(mix(&[s, 0xD15C_0001, crash_index])) < self.torn_tail {
+            let drop_bytes = 1 + mix(&[s, 0xD15C_0002, crash_index]) % tail_len;
+            faults.push(DiskFault::TornTail { drop_bytes });
+        }
+        if to_unit(mix(&[s, 0xD15C_0003, crash_index])) < self.bit_flip {
+            let offset = mix(&[s, 0xD15C_0004, crash_index]);
+            let bit = (mix(&[s, 0xD15C_0005, crash_index]) % 8) as u8;
+            faults.push(DiskFault::BitFlip { offset, bit });
+        }
+        if to_unit(mix(&[s, 0xD15C_0006, crash_index])) < self.short_read {
+            let keep = mix(&[s, 0xD15C_0007, crash_index]) % tail_len;
+            faults.push(DiskFault::ShortRead { keep });
+        }
+        faults
+    }
+}
+
 /// Bounded-retry policy with exponential backoff in sim time.
 ///
 /// `max_attempts` counts the first try: a policy with `max_attempts: 4`
@@ -541,6 +626,31 @@ mod tests {
         assert!(injector.crash_decision(41, 1, CrashPoint::Build).is_none());
         assert!(injector.plan().is_poison(40));
         assert!(!injector.plan().is_poison(41));
+    }
+
+    #[test]
+    fn disk_faults_are_pure_and_disabled_profile_is_clean() {
+        let profile = DiskFaultProfile::chaos(77);
+        for crash in 0..50u64 {
+            assert_eq!(
+                profile.faults_for_crash(crash, 4096),
+                profile.faults_for_crash(crash, 4096)
+            );
+        }
+        let fired = (0..200u64).filter(|&c| !profile.faults_for_crash(c, 4096).is_empty()).count();
+        assert!(fired > 100, "chaos profile should corrupt most crashes, got {fired}");
+        let clean = DiskFaultProfile::none(77);
+        assert!((0..200u64).all(|c| clean.faults_for_crash(c, 4096).is_empty()));
+        // A zero-length tail has nothing to corrupt.
+        assert!(profile.faults_for_crash(0, 0).is_empty());
+        // Torn tails never drop more than the unsynced tail.
+        for crash in 0..200u64 {
+            for fault in profile.faults_for_crash(crash, 100) {
+                if let DiskFault::TornTail { drop_bytes } = fault {
+                    assert!((1..=100).contains(&drop_bytes));
+                }
+            }
+        }
     }
 
     #[test]

@@ -92,6 +92,60 @@ impl ChunkStore {
     pub fn dedup_hits(&self) -> u64 {
         self.dedup_hits
     }
+
+    // ---- recovery support (crate::journal) ---------------------------
+
+    /// Every resident chunk in digest order — the physical payload of a
+    /// compaction snapshot.
+    pub fn snapshot_chunks(&self) -> Vec<(u64, Bytes)> {
+        self.chunks.iter().map(|(d, e)| (*d, e.data.clone())).collect()
+    }
+
+    /// Install chunk bytes with a zero refcount during snapshot
+    /// restore; references are re-derived from object manifests via
+    /// [`ChunkStore::ref_existing`]. No-op if the digest is already
+    /// resident.
+    pub fn restore_chunk(&mut self, digest: u64, data: Bytes) {
+        if self.chunks.contains_key(&digest) {
+            return;
+        }
+        self.physical_bytes += data.len() as u64;
+        self.chunks.insert(digest, ChunkEntry { data, refs: 0 });
+    }
+
+    /// Take one reference on an already-resident chunk without
+    /// counting a dedup hit (restore path). Returns `false` if the
+    /// digest is not resident.
+    pub fn ref_existing(&mut self, digest: u64) -> bool {
+        match self.chunks.get_mut(&digest) {
+            Some(entry) => {
+                entry.refs += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Overwrite the cumulative dedup-hit counter (snapshot restore).
+    pub fn set_dedup_hits(&mut self, hits: u64) {
+        self.dedup_hits = hits;
+    }
+
+    /// Drop chunks no surviving manifest references (objects discarded
+    /// during a faulted replay leave their restored bytes orphaned).
+    pub fn prune_unreferenced(&mut self) {
+        let orphans: Vec<u64> = self
+            .chunks
+            .iter()
+            .filter(|(_, e)| e.refs == 0)
+            .map(|(d, _)| *d)
+            .collect();
+        for digest in orphans {
+            if let Some(entry) = self.chunks.remove(&digest) {
+                self.physical_bytes -= entry.data.len() as u64;
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -33,10 +33,12 @@
 //! Entry point: [`ObjectStore`].
 
 pub mod dedup;
+pub mod journal;
 pub mod lifecycle;
 pub mod object;
 pub mod store;
 
+pub use journal::StoreRecord;
 pub use lifecycle::LifecycleRule;
 pub use object::{ObjectMeta, StoredObject};
-pub use store::{ObjectStore, StoreError, StoreUsage};
+pub use store::{ObjectStore, StoreError, StoreRecovery, StoreUsage};

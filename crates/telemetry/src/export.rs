@@ -381,6 +381,44 @@ mod tests {
     }
 
     #[test]
+    fn wal_counters_render_with_per_log_labels() {
+        // The durability layer exports one label set per journal
+        // ("db" / "store"); the exposition text must keep the series
+        // distinct and round-trip exactly.
+        let reg = MetricsRegistry::new();
+        for (log, appends, corrupt) in [("db", 120u64, 0u64), ("store", 64, 3)] {
+            let l = &[("log", log)];
+            reg.counter(crate::names::WAL_APPENDS_TOTAL, l).store(appends);
+            reg.counter(crate::names::WAL_BYTES_TOTAL, l).store(appends * 100);
+            reg.counter(crate::names::WAL_FSYNC_BATCHES_TOTAL, l).store(appends / 4);
+            reg.counter(crate::names::WAL_REPLAYED_RECORDS_TOTAL, l).store(appends / 2);
+            reg.counter(crate::names::WAL_CORRUPT_RECORDS_DROPPED_TOTAL, l).store(corrupt);
+            reg.counter(crate::names::WAL_COMPACTIONS_TOTAL, l).store(1);
+            reg.gauge(crate::names::WAL_SEGMENTS, l).set(3.0);
+            reg.gauge(crate::names::WAL_LOG_BYTES, l).set(8192.0);
+        }
+        let text = render_prometheus(&reg.snapshot());
+        let samples = parse_prometheus(&text).expect("parses");
+        let find = |name: &str, log: &str| -> f64 {
+            samples
+                .iter()
+                .find(|s| s.name == name && s.labels == vec![("log".to_string(), log.to_string())])
+                .unwrap_or_else(|| panic!("sample {name}{{log=\"{log}\"}} missing"))
+                .value
+        };
+        assert_eq!(find(crate::names::WAL_APPENDS_TOTAL, "db"), 120.0);
+        assert_eq!(find(crate::names::WAL_APPENDS_TOTAL, "store"), 64.0);
+        assert_eq!(find(crate::names::WAL_BYTES_TOTAL, "db"), 12000.0);
+        assert_eq!(find(crate::names::WAL_FSYNC_BATCHES_TOTAL, "store"), 16.0);
+        assert_eq!(find(crate::names::WAL_REPLAYED_RECORDS_TOTAL, "db"), 60.0);
+        assert_eq!(find(crate::names::WAL_CORRUPT_RECORDS_DROPPED_TOTAL, "db"), 0.0);
+        assert_eq!(find(crate::names::WAL_CORRUPT_RECORDS_DROPPED_TOTAL, "store"), 3.0);
+        assert_eq!(find(crate::names::WAL_COMPACTIONS_TOTAL, "store"), 1.0);
+        assert_eq!(find(crate::names::WAL_SEGMENTS, "db"), 3.0);
+        assert_eq!(find(crate::names::WAL_LOG_BYTES, "store"), 8192.0);
+    }
+
+    #[test]
     fn json_round_trips() {
         let snapshot = sample_registry().snapshot();
         let text = render_json(&snapshot);

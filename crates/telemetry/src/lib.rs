@@ -103,6 +103,15 @@ pub mod names {
     pub const EXEC_STOLEN_TOTAL: &str = "rai_exec_stolen_total";
     pub const EXEC_PARKED_TOTAL: &str = "rai_exec_parked_total";
     pub const EXEC_INJECTED_TOTAL: &str = "rai_exec_injected_total";
+    // Write-ahead log counters, labeled per log ("log" = "db"/"store").
+    pub const WAL_APPENDS_TOTAL: &str = "rai_wal_appends_total";
+    pub const WAL_BYTES_TOTAL: &str = "rai_wal_bytes_total";
+    pub const WAL_FSYNC_BATCHES_TOTAL: &str = "rai_wal_fsync_batches_total";
+    pub const WAL_REPLAYED_RECORDS_TOTAL: &str = "rai_wal_replayed_records_total";
+    pub const WAL_CORRUPT_RECORDS_DROPPED_TOTAL: &str = "rai_wal_corrupt_records_dropped_total";
+    pub const WAL_COMPACTIONS_TOTAL: &str = "rai_wal_compactions_total";
+    pub const WAL_SEGMENTS: &str = "rai_wal_segments";
+    pub const WAL_LOG_BYTES: &str = "rai_wal_log_bytes";
 }
 
 type Collector = Box<dyn Fn(&MetricsRegistry) + Send + Sync>;

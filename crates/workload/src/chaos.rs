@@ -221,6 +221,77 @@ fn fnv1a(h: &mut u64, bytes: &[u8]) {
     }
 }
 
+/// The terminal-state audit shared by the chaos and restart-resume
+/// scenarios (`crate::recovery`): row/dead-letter accounting plus the
+/// run fingerprint. One implementation, so "recovered run equals
+/// uninterrupted run" compares the exact same bytes.
+pub(crate) struct AuditOutcome {
+    pub terminal: Vec<u64>,
+    pub duplicated: Vec<u64>,
+    pub lost: Vec<u64>,
+    pub standings: Vec<(String, f64)>,
+    pub fingerprint: u64,
+}
+
+pub(crate) fn audit_terminal_state(
+    system: &RaiSystem,
+    accepted: &[u64],
+    dead_lettered: &[u64],
+) -> AuditOutcome {
+    let mut rows_per_id: BTreeMap<u64, u64> = BTreeMap::new();
+    let submissions = system.db().collection("submissions");
+    let all_rows = submissions.read().find(&rai_db::doc! {});
+    for row in &all_rows {
+        if let Some(id) = row.get("job_id").and_then(rai_db::Value::as_i64) {
+            *rows_per_id.entry(id as u64).or_insert(0) += 1;
+        }
+    }
+    let dead_set: BTreeSet<u64> = dead_lettered.iter().copied().collect();
+    let terminal: Vec<u64> = rows_per_id.keys().copied().collect();
+    let duplicated: Vec<u64> = rows_per_id
+        .iter()
+        .filter(|(_, n)| **n > 1)
+        .map(|(id, _)| *id)
+        .collect();
+    let lost: Vec<u64> = accepted
+        .iter()
+        .copied()
+        .filter(|id| !rows_per_id.contains_key(id) && !dead_set.contains(id))
+        .collect();
+    let standings = system.rankings().standings();
+
+    // Fingerprint: terminal rows (sorted by job id) + dead-letter order
+    // + standings. Presigned URLs are deliberately excluded (their
+    // secret is process-global, not seed-derived).
+    let mut fp: u64 = 0xcbf2_9ce4_8422_2325;
+    for id in rows_per_id.keys() {
+        let row = submissions
+            .read()
+            .find_one(&rai_db::doc! { "job_id" => *id })
+            .expect("counted above");
+        fnv1a(&mut fp, &id.to_le_bytes());
+        fnv1a(&mut fp, row.get("team").and_then(rai_db::Value::as_str).unwrap_or("").as_bytes());
+        fnv1a(&mut fp, row.get("kind").and_then(rai_db::Value::as_str).unwrap_or("").as_bytes());
+        fnv1a(&mut fp, &[u8::from(row.get("success").and_then(rai_db::Value::as_bool).unwrap_or(false))]);
+        let secs = row.get("internal_secs").and_then(rai_db::Value::as_f64).unwrap_or(0.0);
+        fnv1a(&mut fp, &secs.to_bits().to_le_bytes());
+    }
+    for id in dead_lettered {
+        fnv1a(&mut fp, &id.to_le_bytes());
+    }
+    for (team, secs) in &standings {
+        fnv1a(&mut fp, team.as_bytes());
+        fnv1a(&mut fp, &secs.to_bits().to_le_bytes());
+    }
+    AuditOutcome {
+        terminal,
+        duplicated,
+        lost,
+        standings,
+        fingerprint: fp,
+    }
+}
+
 /// Run the chaos scenario and audit it.
 pub fn run_chaos(config: &ChaosConfig) -> ChaosResult {
     let clock = VirtualClock::new();
@@ -304,16 +375,7 @@ pub fn run_chaos(config: &ChaosConfig) -> ChaosResult {
     driver.drive();
     drop(pendings);
 
-    // Audit. Terminal rows, keyed by job id.
-    let mut rows_per_id: BTreeMap<u64, u64> = BTreeMap::new();
-    let submissions = driver.system.db().collection("submissions");
-    let all_rows = submissions.read().find(&rai_db::doc! {});
-    for row in &all_rows {
-        if let Some(id) = row.get("job_id").and_then(rai_db::Value::as_i64) {
-            *rows_per_id.entry(id as u64).or_insert(0) += 1;
-        }
-    }
-    // Dead letters, in arrival order.
+    // Audit. Dead letters, in arrival order.
     let mut dead_lettered = Vec::new();
     while let Some(msg) = dead_sub.try_recv() {
         if let Some(req) = JobRequest::decode(&msg.body_str()) {
@@ -321,43 +383,13 @@ pub fn run_chaos(config: &ChaosConfig) -> ChaosResult {
         }
         dead_sub.ack(msg.id);
     }
-    let dead_set: BTreeSet<u64> = dead_lettered.iter().copied().collect();
-    let terminal: Vec<u64> = rows_per_id.keys().copied().collect();
-    let duplicated: Vec<u64> = rows_per_id
-        .iter()
-        .filter(|(_, n)| **n > 1)
-        .map(|(id, _)| *id)
-        .collect();
-    let lost: Vec<u64> = accepted
-        .iter()
-        .copied()
-        .filter(|id| !rows_per_id.contains_key(id) && !dead_set.contains(id))
-        .collect();
-    let standings = driver.system.rankings().standings();
-
-    // Fingerprint: terminal rows (sorted by job id) + dead-letter order
-    // + standings. Presigned URLs are deliberately excluded (their
-    // secret is process-global, not seed-derived).
-    let mut fp: u64 = 0xcbf2_9ce4_8422_2325;
-    for id in rows_per_id.keys() {
-        let row = submissions
-            .read()
-            .find_one(&rai_db::doc! { "job_id" => *id })
-            .expect("counted above");
-        fnv1a(&mut fp, &id.to_le_bytes());
-        fnv1a(&mut fp, row.get("team").and_then(rai_db::Value::as_str).unwrap_or("").as_bytes());
-        fnv1a(&mut fp, row.get("kind").and_then(rai_db::Value::as_str).unwrap_or("").as_bytes());
-        fnv1a(&mut fp, &[u8::from(row.get("success").and_then(rai_db::Value::as_bool).unwrap_or(false))]);
-        let secs = row.get("internal_secs").and_then(rai_db::Value::as_f64).unwrap_or(0.0);
-        fnv1a(&mut fp, &secs.to_bits().to_le_bytes());
-    }
-    for id in &dead_lettered {
-        fnv1a(&mut fp, &id.to_le_bytes());
-    }
-    for (team, secs) in &standings {
-        fnv1a(&mut fp, team.as_bytes());
-        fnv1a(&mut fp, &secs.to_bits().to_le_bytes());
-    }
+    let AuditOutcome {
+        terminal,
+        duplicated,
+        lost,
+        standings,
+        fingerprint: fp,
+    } = audit_terminal_state(&driver.system, &accepted, &dead_lettered);
 
     let injected = driver
         .system

@@ -23,15 +23,22 @@
 //!   the §VII resource-usage report;
 //! * [`chaos`] — the fault-injected semester: store/db/broker faults,
 //!   worker crashes and stalls, poison jobs, and instance deaths,
-//!   audited for the no-lost-submissions guarantee.
+//!   audited for the no-lost-submissions guarantee;
+//! * [`recovery`] — the restart-resume chaos audit: kill the whole
+//!   process mid-semester (optionally with disk faults on the
+//!   write-ahead logs' unsynced tails), recover from the logs, resume,
+//!   and prove zero lost / zero duplicated submissions — byte-identical
+//!   to an uninterrupted run when the crash is clean and fault-free.
 
 pub mod chaos;
 pub mod circadian;
 pub mod competition;
+pub mod recovery;
 pub mod semester;
 pub mod teams;
 
 pub use chaos::{run_chaos, ChaosConfig, ChaosResult};
+pub use recovery::{run_recovery, KillPoint, RecoveryConfig, RecoveryResult};
 pub use circadian::CircadianModel;
 pub use competition::{run_competition, CompetitionConfig, CompetitionResult};
 pub use semester::{FleetPolicy, SemesterConfig, SemesterResult};
