@@ -19,10 +19,12 @@
 //!    single-run semester wall at each width (fingerprints must be
 //!    byte-identical to the width-1 reference) and a replica fan-out
 //!    measure — four independent semester replicas `par_map`'d across
-//!    the pool, the workload shape that actually exposes multi-core
-//!    speedup (single-run semester payloads sit below the 32 KiB
-//!    offload threshold, so its wall is parallelism-insensitive by
-//!    design).
+//!    the pool. Since the job-level scheduler (DESIGN.md §15), the
+//!    single-run semester itself scales: independent submissions of a
+//!    scheduling round execute concurrently between their serial
+//!    claim/commit points, so `semester_speedup_at_4` is the headline
+//!    intra-run measure and the replica fan-out the embarrassingly
+//!    parallel ceiling.
 //!
 //! Check mode (`--check`, the CI smoke job) re-runs the semester and
 //! chaos scenarios at the requested pool width (`--parallelism N`,
@@ -32,8 +34,9 @@
 //! the cross-width determinism gate), and fails if semester wall-clock
 //! regressed more than 25% over the committed baseline. When the
 //! requested width and the host both have >= 4 cores it re-measures
-//! the replica fan-out at widths 1 and 4 and enforces the >= 1.5x
-//! speedup floor. It writes nothing.
+//! the single-run semester and the replica fan-out at widths 1 and 4
+//! and enforces the >= 1.5x job-level speedup floor on both. It
+//! writes nothing.
 //!
 //! ```text
 //! cargo run --release -p rai-bench --bin perf_report [--check] [--parallelism N] [seed]
@@ -74,6 +77,10 @@ const REPLICA_DAYS: u64 = 10;
 /// Replica fan-out speedup floor at width 4 vs 1, enforced whenever
 /// the host actually has >= 4 cores to scale onto.
 const MIN_FANOUT_SPEEDUP: f64 = 1.5;
+/// Single-run semester speedup floor at width 4 vs 1 — the job-level
+/// scheduling gate (DESIGN.md §15). Same arming rule as the fan-out
+/// floor: a real multi-core gate needs real cores.
+const MIN_SEMESTER_SPEEDUP: f64 = 1.5;
 
 fn host_cpus() -> usize {
     std::thread::available_parallelism()
@@ -278,6 +285,17 @@ fn fanout_speedup_at_4(levels: &[ScalingLevel]) -> f64 {
     wall_at(1) / wall_at(4)
 }
 
+fn semester_speedup_at_4(levels: &[ScalingLevel]) -> f64 {
+    let wall_at = |p: usize| {
+        levels
+            .iter()
+            .find(|l| l.parallelism == p)
+            .expect("swept width")
+            .semester_wall
+    };
+    wall_at(1) / wall_at(4)
+}
+
 /// Enforce the replica fan-out floor — a real multi-core speedup gate,
 /// armed only when the host has the cores to show one.
 fn assert_fanout_floor(speedup: f64, cpus: usize) {
@@ -290,6 +308,22 @@ fn assert_fanout_floor(speedup: f64, cpus: usize) {
     } else {
         println!(
             "  (fan-out floor dormant: host has {cpus} core(s), needs >= 4 to scale)"
+        );
+    }
+}
+
+/// Enforce the single-run semester floor — the job-level scheduler's
+/// gate — under the same arming rule.
+fn assert_semester_floor(speedup: f64, cpus: usize) {
+    if cpus >= 4 {
+        assert!(
+            speedup >= MIN_SEMESTER_SPEEDUP,
+            "single-run semester speedup {speedup:.2}x at parallelism 4 below the \
+             {MIN_SEMESTER_SPEEDUP}x job-level floor on a {cpus}-core host"
+        );
+    } else {
+        println!(
+            "  (semester floor dormant: host has {cpus} core(s), needs >= 4 to scale)"
         );
     }
 }
@@ -315,7 +349,7 @@ fn render(r: &Report) -> String {
     let chaos = &r.chaos.result;
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"rai-perf-bench/2\",\n");
+    out.push_str("  \"schema\": \"rai-perf-bench/3\",\n");
     out.push_str(&format!("  \"seed\": {},\n", r.seed));
     out.push_str("  \"reference\": {\n");
     out.push_str(
@@ -405,26 +439,19 @@ fn render(r: &Report) -> String {
         ));
     }
     out.push_str("    ],\n");
-    let semester_wall_at = |p: usize| {
-        r.scaling
-            .iter()
-            .find(|l| l.parallelism == p)
-            .expect("swept width")
-            .semester_wall
-    };
     out.push_str(&format!(
         "    \"semester_speedup_at_4\": {:.2},\n",
-        semester_wall_at(1) / semester_wall_at(4)
+        semester_speedup_at_4(&r.scaling)
     ));
     out.push_str(&format!(
         "    \"replica_fanout_speedup_at_4\": {:.2},\n",
         fanout_speedup_at_4(&r.scaling)
     ));
     out.push_str(&format!(
-        "    \"floor\": \"replica_fanout_speedup_at_4 >= {MIN_FANOUT_SPEEDUP} enforced when host_cpus >= 4\",\n"
+        "    \"floor\": \"semester_speedup_at_4 >= {MIN_SEMESTER_SPEEDUP} and replica_fanout_speedup_at_4 >= {MIN_FANOUT_SPEEDUP} enforced when host_cpus >= 4\",\n"
     ));
     out.push_str(
-        "    \"note\": \"fingerprints are byte-identical at every width; single-run semester payloads sit below the 32 KiB offload threshold, so its wall is width-insensitive by design and the replica fan-out is the multi-core measure\"\n",
+        "    \"note\": \"fingerprints are byte-identical at every width; the job-level scheduler executes independent submissions of a scheduling round concurrently between their serial claim/commit points (DESIGN.md 15), so the single-run semester scales with width and the replica fan-out is the embarrassingly parallel ceiling\"\n",
     );
     out.push_str("  }\n");
     out.push_str("}\n");
@@ -458,7 +485,7 @@ fn check(seed: u64, parallelism: usize) {
     let committed =
         std::fs::read_to_string("BENCH_perf.json").expect("read committed BENCH_perf.json");
     let schema = extract(&committed, "schema", "schema");
-    assert_eq!(schema, "rai-perf-bench/2", "unexpected schema");
+    assert_eq!(schema, "rai-perf-bench/3", "unexpected schema");
     let committed_sem_fp = extract(&committed, "semester", "fingerprint").to_string();
     let committed_chaos_fp = extract(&committed, "chaos", "fingerprint").to_string();
     let committed_wall: f64 = extract(&committed, "semester", "wall_secs")
@@ -473,11 +500,19 @@ fn check(seed: u64, parallelism: usize) {
     let committed_fanout: f64 = extract(&committed, "scaling", "replica_fanout_speedup_at_4")
         .parse()
         .expect("scaling replica_fanout_speedup_at_4 is a number");
+    let committed_semester_speedup: f64 = extract(&committed, "scaling", "semester_speedup_at_4")
+        .parse()
+        .expect("scaling semester_speedup_at_4 is a number");
     if committed_cpus >= 4 {
         assert!(
             committed_fanout >= MIN_FANOUT_SPEEDUP,
             "committed replica fan-out speedup {committed_fanout:.2}x below the \
              {MIN_FANOUT_SPEEDUP}x floor (recorded on a {committed_cpus}-core host)"
+        );
+        assert!(
+            committed_semester_speedup >= MIN_SEMESTER_SPEEDUP,
+            "committed single-run semester speedup {committed_semester_speedup:.2}x below the \
+             {MIN_SEMESTER_SPEEDUP}x job-level floor (recorded on a {committed_cpus}-core host)"
         );
     }
 
@@ -522,11 +557,28 @@ fn check(seed: u64, parallelism: usize) {
         );
     }
 
-    // Live scaling floor: when asked to check a multi-core width on a
-    // multi-core host, the fan-out speedup must still be there — not
-    // just in the committed file.
+    // Live scaling floors: when asked to check a multi-core width on a
+    // multi-core host, the speedups must still be there — not just in
+    // the committed file.
     if parallelism >= 4 {
         let cpus = host_cpus();
+        // Job-level floor: the same single semester, width 1 vs 4.
+        let seq_sem =
+            timed(|| run_semester(&SemesterConfig::scaled(TEAMS, DAYS, seed)));
+        let par_sem = timed(|| {
+            run_semester(&SemesterConfig::scaled(TEAMS, DAYS, seed).with_parallelism(4))
+        });
+        assert_eq!(
+            seq_sem.result.fingerprint(),
+            par_sem.result.fingerprint(),
+            "semester fingerprints diverged between widths 1 and 4"
+        );
+        let sem_speedup = seq_sem.wall / par_sem.wall;
+        println!(
+            "perf check: single-run semester {:.3}s -> {:.3}s ({sem_speedup:.2}x) on {cpus} core(s)",
+            seq_sem.wall, par_sem.wall
+        );
+        assert_semester_floor(sem_speedup, cpus);
         let sequential = replica_fanout(1, seed);
         let pooled = replica_fanout(4, seed);
         assert_eq!(
@@ -644,6 +696,9 @@ fn main() {
             l.parallelism, l.semester_wall, l.fanout_wall
         );
     }
+    let sem_speedup = semester_speedup_at_4(&scaling);
+    println!("    semester speedup          {sem_speedup:.2}x at parallelism 4");
+    assert_semester_floor(sem_speedup, cpus);
     let fanout_speedup = fanout_speedup_at_4(&scaling);
     println!("    replica fan-out speedup   {fanout_speedup:.2}x at parallelism 4");
     assert_fanout_floor(fanout_speedup, cpus);

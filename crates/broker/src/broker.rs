@@ -528,9 +528,37 @@ impl Subscription {
         Some(msg)
     }
 
+    /// Claim up to `max` ready messages in one call, in queue order.
+    /// Every returned message is in flight until individually
+    /// [`Subscription::ack`]ed (or [`Subscription::ack_batch`]ed) —
+    /// a crash drops the whole batch back to the queue at once, which
+    /// is exactly the at-least-once story of a single claim, repeated.
+    /// Returns fewer than `max` (possibly zero) when the queue drains.
+    pub fn try_recv_batch(&self, max: usize) -> Vec<Message> {
+        let mut batch = Vec::new();
+        while batch.len() < max {
+            let Some(msg) = self.channel.try_recv(self.subscriber_id) else {
+                break;
+            };
+            batch.push(msg);
+        }
+        if !batch.is_empty() {
+            self.broker.mark_dirty(&self.topic);
+        }
+        batch
+    }
+
     /// Acknowledge (complete) an in-flight message.
     pub fn ack(&self, id: MessageId) -> bool {
         self.channel.ack(self.subscriber_id, id)
+    }
+
+    /// Acknowledge a batch of in-flight messages. Returns how many were
+    /// actually in flight for this subscription.
+    pub fn ack_batch(&self, ids: &[MessageId]) -> usize {
+        ids.iter()
+            .filter(|id| self.channel.ack(self.subscriber_id, **id))
+            .count()
     }
 
     /// Decline an in-flight message, returning it to the queue for
@@ -614,6 +642,49 @@ mod tests {
         assert_eq!(s.published, 1);
         assert_eq!(s.acked, 1);
         assert_eq!(s.depth, 0);
+    }
+
+    #[test]
+    fn batch_claim_preserves_queue_order_and_batch_ack_completes() {
+        let b = Broker::default();
+        let sub = b.subscribe("rai", "tasks");
+        for i in 0..5 {
+            b.publish("rai", format!("job-{i}").into_bytes()).unwrap();
+        }
+        let batch = sub.try_recv_batch(3);
+        assert_eq!(
+            batch.iter().map(|m| m.body_str().into_owned()).collect::<Vec<_>>(),
+            ["job-0", "job-1", "job-2"]
+        );
+        let s = b.topic_stats("rai").unwrap();
+        assert_eq!((s.depth, s.in_flight), (2, 3));
+        let ids: Vec<MessageId> = batch.iter().map(|m| m.id).collect();
+        assert_eq!(sub.ack_batch(&ids), 3);
+        // Re-acking is a no-op, and the tail drains below `max`.
+        assert_eq!(sub.ack_batch(&ids), 0);
+        let rest = sub.try_recv_batch(10);
+        assert_eq!(rest.len(), 2);
+        assert_eq!(sub.try_recv_batch(10).len(), 0);
+    }
+
+    #[test]
+    fn dropping_subscription_requeues_unacked_batch() {
+        let b = Broker::default();
+        let sub = b.subscribe("rai", "tasks");
+        for i in 0..3 {
+            b.publish("rai", format!("job-{i}").into_bytes()).unwrap();
+        }
+        let batch = sub.try_recv_batch(3);
+        assert_eq!(batch.len(), 3);
+        sub.ack(batch[1].id);
+        drop(sub); // crash: the two unacked claims return to the queue
+        let sub2 = b.subscribe("rai", "tasks");
+        let redelivered = sub2.try_recv_batch(10);
+        let mut bodies: Vec<String> =
+            redelivered.iter().map(|m| m.body_str().into_owned()).collect();
+        bodies.sort();
+        assert_eq!(bodies, ["job-0", "job-2"]);
+        assert!(redelivered.iter().all(|m| m.attempts == 2), "redelivery bumps attempts");
     }
 
     #[test]

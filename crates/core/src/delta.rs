@@ -10,11 +10,46 @@
 //! bytes instead of the whole archive — the paper's dominant workload
 //! (30 782 submissions in the final two weeks, most of them retries).
 
-use rai_archive::chunk::{chunk_bytes_on, Chunk, ChunkerParams};
+use rai_archive::chunk::{chunk_bytes, chunk_bytes_on, Chunk, ChunkManifest, ChunkerParams};
 use rai_exec::Executor;
 use rai_store::{ObjectStore, StoreError};
 use std::collections::{BTreeMap, HashSet};
 use parking_lot::Mutex;
+
+/// A payload already split into its chunk manifest, ready to commit.
+///
+/// Preparation (content-defined chunking + digesting) is the pure,
+/// CPU-bound half of a delta upload; committing it (`has_chunks` +
+/// `put_delta`) is the half that talks to the store. The job scheduler
+/// (DESIGN.md §15) prepares uploads on pool tasks during the execute
+/// phase and commits them serially, so store traffic — and with it the
+/// fault-draw stream — stays in deterministic claim order.
+#[derive(Clone, Debug)]
+pub struct PreparedUpload {
+    manifest: ChunkManifest,
+    chunks: Vec<Chunk>,
+}
+
+impl PreparedUpload {
+    /// Chunk `payload` with the store's default parameters. Chunk
+    /// boundaries and digests are a pure function of the bytes, so a
+    /// prepared upload is byte-identical no matter where (or how
+    /// concurrently) it was prepared.
+    pub fn prepare(payload: &[u8]) -> Self {
+        let (manifest, chunks) = chunk_bytes(payload, ChunkerParams::DEFAULT);
+        PreparedUpload { manifest, chunks }
+    }
+
+    /// Chunks the payload splits into.
+    pub fn chunks_total(&self) -> usize {
+        self.manifest.chunks.len()
+    }
+
+    /// Logical payload size in bytes.
+    pub fn bytes_logical(&self) -> u64 {
+        self.manifest.total_len
+    }
+}
 
 /// What a delta upload actually cost.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -83,6 +118,14 @@ impl DeltaUploader {
         self.cache.lock().len()
     }
 
+    /// Chunk `payload` on this uploader's executor, ready for
+    /// [`DeltaUploader::upload_prepared`]. Identical to
+    /// [`PreparedUpload::prepare`] byte for byte (DESIGN.md §12).
+    pub fn prepare(&self, payload: &[u8]) -> PreparedUpload {
+        let (manifest, chunks) = chunk_bytes_on(&self.executor, payload, self.params);
+        PreparedUpload { manifest, chunks }
+    }
+
     /// Upload `payload` to `bucket/key` sending only missing chunks.
     ///
     /// Transient [`StoreError::Unavailable`] from either protocol step
@@ -97,7 +140,21 @@ impl DeltaUploader {
         payload: &[u8],
         user_meta: impl IntoIterator<Item = (String, String)>,
     ) -> Result<DeltaReceipt, StoreError> {
-        let (manifest, chunks) = chunk_bytes_on(&self.executor, payload, self.params);
+        self.upload_prepared(store, bucket, key, &self.prepare(payload), user_meta)
+    }
+
+    /// Commit an already-prepared upload, sending only the chunks the
+    /// store is missing. Retrying a transient failure with the same
+    /// [`PreparedUpload`] skips the chunking pass entirely.
+    pub fn upload_prepared(
+        &self,
+        store: &ObjectStore,
+        bucket: &str,
+        key: &str,
+        prepared: &PreparedUpload,
+        user_meta: impl IntoIterator<Item = (String, String)>,
+    ) -> Result<DeltaReceipt, StoreError> {
+        let PreparedUpload { manifest, chunks } = prepared;
         let by_digest: BTreeMap<u64, &Chunk> = chunks.iter().map(|c| (c.digest, c)).collect();
         let user_meta: Vec<(String, String)> = user_meta.into_iter().collect();
 
@@ -119,7 +176,7 @@ impl DeltaUploader {
                 .filter(|(_, &r)| !r)
                 .map(|(d, _)| (*by_digest.get(d).expect("digest from payload")).clone())
                 .collect();
-            match store.put_delta(bucket, key, &manifest, &to_send, user_meta.clone()) {
+            match store.put_delta(bucket, key, manifest, &to_send, user_meta.clone()) {
                 Ok(etag) => {
                     let mut cache = self.cache.lock();
                     cache.extend(by_digest.keys().copied());

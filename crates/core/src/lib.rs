@@ -51,8 +51,8 @@ pub mod system;
 pub mod worker;
 
 pub use client::{PendingJob, ProjectDir, RaiClient, SubmitError, SubmitMode, SubmitReceipt};
-pub use delta::{DeltaReceipt, DeltaUploader};
+pub use delta::{DeltaReceipt, DeltaUploader, PreparedUpload};
 pub use ranking::{RankEntry, RankingBoard};
 pub use spec::{BuildSpec, SpecError};
 pub use system::{RaiSystem, RecoveryReport, SystemConfig};
-pub use worker::{CrashReport, JobOutcome, StepEvent, Worker, WorkerConfig};
+pub use worker::{ClaimedJob, CrashReport, ExecutedJob, JobOutcome, StepEvent, Worker, WorkerConfig};

@@ -357,6 +357,8 @@ impl RaiSystem {
                 reg.counter(names::EXEC_STOLEN_TOTAL, &[]).store(s.stolen);
                 reg.counter(names::EXEC_PARKED_TOTAL, &[]).store(s.parked);
                 reg.counter(names::EXEC_INJECTED_TOTAL, &[]).store(s.injected);
+                reg.counter(names::EXEC_BATCHES_TOTAL, &[]).store(s.batches);
+                reg.counter(names::EXEC_BATCH_JOBS_TOTAL, &[]).store(s.batch_jobs);
             });
             // Write-ahead log counters, one label set per journal.
             for (label, wal) in [("db", db.wal()), ("store", store.wal())] {
@@ -573,42 +575,68 @@ impl RaiSystem {
         pending.wait(Duration::from_millis(500))
     }
 
-    /// Step workers round-robin until `stop` matches an outcome or no
-    /// worker makes progress. Outcomes advance the shared virtual clock
-    /// by their service time. Injected crashes restart the worker (and
-    /// stalls additionally wait out the in-flight timeout before the
-    /// broker reclaims the held message); either way the job message
-    /// survives to a later attempt. Returns all outcomes observed.
+    /// Drive the fleet until `stop` matches an outcome or no worker
+    /// makes progress, scheduling whole submissions concurrently
+    /// (DESIGN.md §15).
+    ///
+    /// Each round claims at most one job per worker (serially, in
+    /// worker order), runs every claim's execute phase on the shared
+    /// pool via [`rai_exec::Executor::run_jobs`], then commits in claim
+    /// order. Claim and commit are the only phases that touch
+    /// broker/store/db, so fault draws, trace artifacts and database
+    /// state are byte-identical at every pool width. The clock advances
+    /// once per round by the batch's summed service time — the same
+    /// total the sequential schedule accumulated job by job. Injected
+    /// crashes restart their worker after the round (and stalls
+    /// additionally wait out the in-flight timeout before the broker
+    /// reclaims the held messages); either way the job messages survive
+    /// to a later attempt. Returns all outcomes observed.
     pub fn drive_until(&mut self, stop: impl Fn(&JobOutcome) -> bool) -> Vec<JobOutcome> {
         let mut outcomes = Vec::new();
+        let executor = self.executor.clone();
         loop {
-            let mut progressed = false;
-            for w in &mut self.workers {
-                match w.try_step() {
-                    StepEvent::Idle => {}
+            // Claim phase: serial, round-robin worker order.
+            let claims: Vec<(usize, crate::worker::ClaimedJob)> = self
+                .workers
+                .iter_mut()
+                .enumerate()
+                .filter_map(|(wi, w)| w.claim().map(|c| (wi, c)))
+                .collect();
+            if claims.is_empty() {
+                return outcomes;
+            }
+            let mut advance = SimDuration::ZERO;
+            let mut stalled = false;
+            let mut crashed: Vec<usize> = Vec::new();
+            let mut stop_hit = false;
+            executor.run_jobs(
+                claims,
+                |(wi, claimed)| (wi, Worker::execute(claimed)),
+                |(wi, executed)| match self.workers[wi].commit(executed) {
+                    StepEvent::Idle => unreachable!("commit always seals its claim"),
                     StepEvent::Done(outcome) => {
-                        self.clock.advance(outcome.service_time);
-                        let done = stop(&outcome);
+                        advance += outcome.service_time;
+                        stop_hit |= stop(&outcome);
                         outcomes.push(outcome);
-                        progressed = true;
-                        if done {
-                            return outcomes;
-                        }
                     }
                     StepEvent::Crashed(report) => {
-                        self.clock.advance(report.wasted);
-                        if report.kind == CrashKind::Stall {
-                            // The frozen process holds its claim until
-                            // the broker's message timeout passes.
-                            self.clock.advance(MESSAGE_TIMEOUT);
-                            self.broker.reclaim_expired(MESSAGE_TIMEOUT);
-                        }
-                        w.crash_recover();
-                        progressed = true;
+                        advance += report.wasted;
+                        stalled |= report.kind == CrashKind::Stall;
+                        crashed.push(wi);
                     }
-                }
+                },
+            );
+            self.clock.advance(advance);
+            if stalled {
+                // Frozen processes hold their claims until the broker's
+                // message timeout passes.
+                self.clock.advance(MESSAGE_TIMEOUT);
+                self.broker.reclaim_expired(MESSAGE_TIMEOUT);
             }
-            if !progressed {
+            for wi in crashed {
+                self.workers[wi].crash_recover();
+            }
+            if stop_hit {
                 return outcomes;
             }
         }
@@ -785,6 +813,9 @@ mod tests {
         assert_eq!(metrics.counter_total(names::JOBS_TOTAL), 1);
         assert!(metrics.counter(names::DB_INSERTS_TOTAL, &[]).unwrap() > 0);
         assert!(!metrics.histograms_named(names::JOB_STAGE_SECONDS).is_empty());
+        // The job went through the scheduler: one single-job round.
+        assert_eq!(metrics.counter_total(names::EXEC_BATCHES_TOTAL), 1);
+        assert_eq!(metrics.counter_total(names::EXEC_BATCH_JOBS_TOTAL), 1);
     }
 
     #[test]

@@ -26,20 +26,21 @@
 //! upsert keyed on `job_id`), so redelivered work records exactly once.
 
 use crate::client::BUILD_BUCKET;
-use crate::delta::DeltaUploader;
+use crate::delta::{DeltaUploader, PreparedUpload};
 use crate::protocol::{routes, JobKind, JobRequest, LogFrame};
 use crate::spec::BuildSpec;
-use rai_archive::{restore, write_container};
+use rai_archive::{restore, write_container, FileTree};
 use rai_auth::CredentialRegistry;
-use rai_broker::{Broker, Subscription};
+use rai_broker::{Broker, MessageId, Subscription};
 use rai_db::{doc, Database, DbError, Value};
 use rai_faults::{CrashKind, CrashPoint, FaultInjector, RetryPolicy};
-use rai_sandbox::{Container, ContainerStatus, ImageRegistry, ResourceLimits};
-use rai_sim::SimDuration;
+use rai_sandbox::{Container, ContainerStatus, Image, ImageRegistry, ResourceLimits};
+use rai_sim::{SimDuration, SimTime};
 use rai_telemetry::{component, names, stage, Telemetry};
 use parking_lot::RwLock;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::cell::Cell;
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -128,6 +129,131 @@ pub enum StepEvent {
 /// attempt tag (attempt 0 is reserved for the client submit subtree).
 fn attempt_no(attempt: u64) -> u32 {
     u32::try_from(attempt.max(1)).unwrap_or(u32::MAX)
+}
+
+/// A job claimed from the broker with its claim-phase work done.
+///
+/// The claim phase (DESIGN.md §15) runs everything that touches shared
+/// services or per-worker state — message pop, parse, auth, build-spec
+/// parse, image whitelist + pull accounting, and the project fetch from
+/// the store — so it must run serially on the event loop. What remains
+/// is pure: a `ClaimedJob` owns every input the build+run needs
+/// (project tree, image, limits, dilation, pre-drawn crash decisions),
+/// which is why [`Worker::execute`] can take it by value onto a pool
+/// task without touching the worker at all.
+pub struct ClaimedJob {
+    /// Broker message backing this claim (`None` when driven directly
+    /// via [`Worker::run_job`], which manages queueing itself).
+    msg_id: Option<MessageId>,
+    request: JobRequest,
+    attempt: u64,
+    /// Claim-time clock: every stage span of this attempt is stamped
+    /// `started + accumulated service time`.
+    started: SimTime,
+    /// Service time accrued during the claim phase (pull + fetch
+    /// backoff + transfer).
+    service_time: SimDuration,
+    /// Log-frame bytes published during the claim phase.
+    log_bytes: u64,
+    plan: ClaimPlan,
+}
+
+impl ClaimedJob {
+    /// Id of the claimed job.
+    pub fn job_id(&self) -> u64 {
+        self.request.job_id
+    }
+}
+
+/// How the claim phase resolved.
+// One plan exists per in-flight claim (bounded by the fleet size), so
+// the `Run` variant's size costs nothing worth an indirection.
+#[allow(clippy::large_enum_variant)]
+enum ClaimPlan {
+    /// Rejected before a container could start (auth, spec, image, or
+    /// fetch failure); commit records the terminal row and acks.
+    Reject {
+        user: String,
+        outcome: &'static str,
+    },
+    /// An injected crash/stall landed during the claim phase.
+    Crashed { kind: CrashKind, point: CrashPoint },
+    /// Everything the sandbox run needs, self-contained.
+    Run {
+        user: String,
+        spec: BuildSpec,
+        image: Image,
+        project: FileTree,
+        limits: ResourceLimits,
+        gpu_speed: f64,
+        dilation: f64,
+        /// Crash decisions are pure functions of (seed, job, attempt,
+        /// point), so they are drawn at claim time; the execute phase
+        /// then needs no access to the injector.
+        crash_build: Option<CrashKind>,
+        crash_upload: Option<CrashKind>,
+    },
+}
+
+/// A lifecycle span observed on a pool task, replayed through
+/// telemetry at commit so trace insertion stays in claim order.
+struct StagedSpan {
+    stage: &'static str,
+    component: &'static str,
+    from: SimDuration,
+    to: SimDuration,
+}
+
+/// Sandbox facts recorded once the commit phase reaches telemetry.
+struct RunFacts {
+    elapsed: SimDuration,
+    limit_killed: bool,
+}
+
+/// A claim after its execute phase: the container ran (or the claim
+/// carried a rejection/crash through untouched) and every side effect
+/// is buffered, waiting for [`Worker::commit`] to apply it in claim
+/// order.
+pub struct ExecutedJob {
+    msg_id: Option<MessageId>,
+    request: JobRequest,
+    attempt: u64,
+    started: SimTime,
+    service_time: SimDuration,
+    log_bytes: u64,
+    /// Stdout/stderr frames from the container, unpublished: log
+    /// publishing is faultable, so frames must hit the broker in
+    /// deterministic claim order.
+    frames: Vec<LogFrame>,
+    /// BUILT/RAN spans observed on the pool task.
+    spans: Vec<StagedSpan>,
+    run_facts: Option<RunFacts>,
+    outcome: ExecOutcome,
+}
+
+impl ExecutedJob {
+    /// Id of the executed job.
+    pub fn job_id(&self) -> u64 {
+        self.request.job_id
+    }
+}
+
+/// How the execute phase resolved.
+enum ExecOutcome {
+    Reject {
+        user: String,
+        outcome: &'static str,
+    },
+    Crashed { kind: CrashKind, point: CrashPoint },
+    Built {
+        user: String,
+        prepared: PreparedUpload,
+        container_len: u64,
+        build_key: String,
+        success: bool,
+        measured: Option<f64>,
+        elapsed: SimDuration,
+    },
 }
 
 /// The worker agent.
@@ -242,57 +368,76 @@ impl Worker {
     /// releases it when [`Worker::crash_recover`] drops the old
     /// subscription; a `Stall` holds it until the broker's message
     /// timeout (`reclaim_expired`) fires.
+    ///
+    /// Equivalent to claim → execute → commit back to back; batch
+    /// drivers call the three phases separately so independent jobs'
+    /// execute phases overlap on a pool (DESIGN.md §15).
     pub fn try_step(&mut self) -> StepEvent {
-        if self.active_jobs >= self.config.max_in_flight {
-            return StepEvent::Idle;
-        }
-        loop {
-            let Some(msg) = self.subscription.try_recv() else {
-                return StepEvent::Idle;
-            };
-            // ② Parse the message; malformed messages are dropped
-            // (acked) — they can never become valid — and the worker
-            // moves on to the next queued job.
-            let Some(request) = JobRequest::decode(&msg.body_str()) else {
-                if let Some(t) = &self.telemetry {
-                    t.counter(names::JOBS_MALFORMED_TOTAL, &[]).inc();
-                }
-                rai_telemetry::log!(
-                    warn,
-                    "worker {}: dropping malformed task message {} ({} bytes)",
-                    self.config.worker_id,
-                    msg.id,
-                    msg.body.len()
-                );
-                self.subscription.ack(msg.id);
-                continue;
-            };
-            let attempt = u64::from(msg.attempts.max(1));
-            if attempt > 1 {
-                if let Some(t) = &self.telemetry {
-                    t.counter(names::REDELIVERIES_TOTAL, &[]).inc();
-                }
+        match self.claim() {
+            None => StepEvent::Idle,
+            Some(claimed) => {
+                let executed = Worker::execute(claimed);
+                self.commit(executed)
             }
-            self.active_jobs += 1;
-            self.set_active_gauge();
-            let co = self.active_jobs.saturating_sub(1);
-            let result = self.run_job(&request, attempt, co);
-            self.active_jobs -= 1;
-            self.set_active_gauge();
-            return match result {
-                Ok(outcome) => {
-                    self.subscription.ack(msg.id);
-                    StepEvent::Done(outcome)
-                }
-                Err(report) => {
-                    if let Some(t) = &self.telemetry {
-                        t.counter(names::WORKER_CRASHES_TOTAL, &[("kind", report.kind.label())])
-                            .inc();
-                    }
-                    StepEvent::Crashed(report)
-                }
-            };
         }
+    }
+
+    /// Claim one task message from the broker and run its claim phase.
+    /// Returns `None` when the queue is empty or this worker is at its
+    /// in-flight limit. The claim counts against `active_jobs` until
+    /// [`Worker::commit`] (or [`Worker::crash_recover`]) releases it.
+    pub fn claim(&mut self) -> Option<ClaimedJob> {
+        self.claim_batch(1).pop()
+    }
+
+    /// Claim up to `max` task messages in one broker round trip
+    /// (`Subscription::try_recv_batch`), bounded by the remaining
+    /// in-flight budget, and run each claim phase in queue order.
+    ///
+    /// Malformed messages are dropped (batch-acked) — they can never
+    /// become valid — and do not count against `max`. Claims beyond the
+    /// first are flagged co-scheduled, reproducing the contention noise
+    /// the paper saw on multi-job workers; the deterministic drivers
+    /// keep `max_in_flight` at 1, so their claims always measure clean.
+    pub fn claim_batch(&mut self, max: usize) -> Vec<ClaimedJob> {
+        let budget = max.min(self.config.max_in_flight.saturating_sub(self.active_jobs));
+        let mut claims = Vec::new();
+        while claims.len() < budget {
+            let batch = self.subscription.try_recv_batch(budget - claims.len());
+            if batch.is_empty() {
+                break;
+            }
+            let mut malformed: Vec<MessageId> = Vec::new();
+            for msg in batch {
+                // ② Parse the message; drops move on to the next job.
+                let Some(request) = JobRequest::decode(&msg.body_str()) else {
+                    if let Some(t) = &self.telemetry {
+                        t.counter(names::JOBS_MALFORMED_TOTAL, &[]).inc();
+                    }
+                    rai_telemetry::log!(
+                        warn,
+                        "worker {}: dropping malformed task message {} ({} bytes)",
+                        self.config.worker_id,
+                        msg.id,
+                        msg.body.len()
+                    );
+                    malformed.push(msg.id);
+                    continue;
+                };
+                let attempt = u64::from(msg.attempts.max(1));
+                if attempt > 1 {
+                    if let Some(t) = &self.telemetry {
+                        t.counter(names::REDELIVERIES_TOTAL, &[]).inc();
+                    }
+                }
+                self.active_jobs += 1;
+                self.set_active_gauge();
+                let co = self.active_jobs.saturating_sub(1);
+                claims.push(self.claim_request(&request, attempt, co, Some(msg.id)));
+            }
+            self.subscription.ack_batch(&malformed);
+        }
+        claims
     }
 
     /// Restart after a crash: a fresh subscription claims a new
@@ -364,6 +509,20 @@ impl Worker {
             ^ job_id.wrapping_mul(0x9E37_79B9_7F4A_7C15)
             ^ attempt.rotate_left(32)
             ^ op.wrapping_mul(0xD1B5_4A32_D192_ED03)
+    }
+
+    /// The injector's crash/stall decision for `point`, if any. Pure in
+    /// (seed, job, attempt, point) — drawing it early at claim time
+    /// yields the same decision the sequential pipeline drew in place.
+    fn crash_decision_at(
+        &self,
+        request: &JobRequest,
+        attempt: u64,
+        point: CrashPoint,
+    ) -> Option<CrashKind> {
+        self.injector
+            .as_ref()
+            .and_then(|inj| inj.crash_decision(request.job_id, attempt, point))
     }
 
     /// Consult the injector (if any) for a crash/stall at `point`.
@@ -438,38 +597,26 @@ impl Worker {
         attempt: u64,
         co_scheduled: usize,
     ) -> Result<JobOutcome, CrashReport> {
-        let started = self.store.clock().now();
-        let result = self.run_job_inner(request, attempt, co_scheduled);
-        if let Err(report) = &result {
-            // Close the attempt's subtree with a zero-width crash
-            // marker so the trace shows where the wasted work ended —
-            // the next delivery opens a sibling attempt subtree.
-            if let Some(t) = &self.telemetry {
-                let at = started + report.wasted;
-                t.trace_span(
-                    request.job_id,
-                    attempt_no(attempt),
-                    stage::CRASHED,
-                    component::FAULT,
-                    at,
-                    at,
-                );
-            }
-        }
-        result
+        let claimed = self.claim_request(request, attempt, co_scheduled, None);
+        let executed = Worker::execute(claimed);
+        self.commit_job(executed)
     }
 
-    fn run_job_inner(
+    /// Run the claim phase of a request: everything up to (and
+    /// including) the project fetch, serially against shared services.
+    fn claim_request(
         &mut self,
         request: &JobRequest,
         attempt: u64,
         co_scheduled: usize,
-    ) -> Result<JobOutcome, CrashReport> {
+        msg_id: Option<MessageId>,
+    ) -> ClaimedJob {
         let log_topic = routes::log_topic(request.job_id);
         let attempt_no = attempt_no(attempt);
         // All stage timestamps are `started + accumulated service time`:
-        // the driver advances the shared clock only after the outcome,
-        // so stamping the logical time keeps per-job traces monotone.
+        // the driver advances the shared clock only after the batch
+        // commits, so stamping the logical time keeps per-job traces
+        // monotone (and identical at every pool width).
         let started = self.store.clock().now();
         if let Some(t) = &self.telemetry {
             // Delivery from the broker opens this attempt's subtree.
@@ -477,7 +624,7 @@ impl Worker {
         }
         // Bytes of log traffic this job generates (the paper reports
         // 25 GB of logs and metadata across the semester).
-        let log_bytes = std::cell::Cell::new(0u64);
+        let log_bytes = Cell::new(0u64);
         let publish = |broker: &Broker, frame: LogFrame| {
             let encoded = frame.encode();
             log_bytes.set(log_bytes.get() + encoded.len() as u64);
@@ -485,24 +632,29 @@ impl Worker {
             // take the worker down.
             let _ = broker.publish_ephemeral(&log_topic, encoded);
         };
+        let reject = |broker: &Broker, reason: String| {
+            publish(broker, LogFrame::Err(reason));
+            publish(broker, LogFrame::End { success: false });
+        };
 
         publish(
             &self.broker,
             LogFrame::Status(format!("job accepted by {}", self.config.worker_id)),
         );
         let mut service_time = SimDuration::ZERO;
-        let fail = |broker: &Broker, reason: String, service_time: SimDuration| {
-            publish(broker, LogFrame::Err(reason.clone()));
-            publish(broker, LogFrame::End { success: false });
-            JobOutcome {
-                job_id: request.job_id,
-                team: request.team.clone(),
-                kind: request.kind,
-                success: false,
-                service_time,
-                measured_secs: None,
-            }
-        };
+        macro_rules! claimed {
+            ($plan:expr) => {
+                ClaimedJob {
+                    msg_id,
+                    request: request.clone(),
+                    attempt,
+                    started,
+                    service_time,
+                    log_bytes: log_bytes.get(),
+                    plan: $plan,
+                }
+            };
+        }
 
         // ② Check the credentials.
         let auth = self.registry.read().authenticate(
@@ -513,14 +665,13 @@ impl Worker {
         let user = match auth {
             Ok(u) => u,
             Err(e) => {
-                let mut out = fail(&self.broker, format!("authentication failed: {e}"), service_time);
-                let backoff = self
-                    .record_submission(request, "auth-rejected", None, SimDuration::ZERO, false, log_bytes.get())
-                    .map_err(|_| self.db_crash(request, service_time))?;
-                out.service_time += backoff;
-                self.note_stage(request, attempt_no, stage::RECORDED, component::DB, started, service_time, out.service_time);
-                self.note_outcome(request, "auth-rejected", out.service_time);
-                return Ok(out);
+                reject(&self.broker, format!("authentication failed: {e}"));
+                // The recorded row carries the rejection in place of a
+                // user name — there is no authenticated user to name.
+                return claimed!(ClaimPlan::Reject {
+                    user: "auth-rejected".to_string(),
+                    outcome: "auth-rejected",
+                });
             }
         };
 
@@ -528,14 +679,8 @@ impl Worker {
         let spec = match BuildSpec::parse(&request.build_yml) {
             Ok(s) => s,
             Err(e) => {
-                let mut out = fail(&self.broker, e.to_string(), service_time);
-                let backoff = self
-                    .record_submission(request, &user, None, SimDuration::ZERO, false, log_bytes.get())
-                    .map_err(|_| self.db_crash(request, service_time))?;
-                out.service_time += backoff;
-                self.note_stage(request, attempt_no, stage::RECORDED, component::DB, started, service_time, out.service_time);
-                self.note_outcome(request, "bad-spec", out.service_time);
-                return Ok(out);
+                reject(&self.broker, e.to_string());
+                return claimed!(ClaimPlan::Reject { user, outcome: "bad-spec" });
             }
         };
 
@@ -543,14 +688,8 @@ impl Worker {
         let image = match self.images.resolve(&spec.image) {
             Ok(img) => img.clone(),
             Err(e) => {
-                let mut out = fail(&self.broker, e.to_string(), service_time);
-                let backoff = self
-                    .record_submission(request, &user, None, SimDuration::ZERO, false, log_bytes.get())
-                    .map_err(|_| self.db_crash(request, service_time))?;
-                out.service_time += backoff;
-                self.note_stage(request, attempt_no, stage::RECORDED, component::DB, started, service_time, out.service_time);
-                self.note_outcome(request, "image-rejected", out.service_time);
-                return Ok(out);
+                reject(&self.broker, e.to_string());
+                return claimed!(ClaimPlan::Reject { user, outcome: "image-rejected" });
             }
         };
         if !self.cached_images.contains(&image.name) {
@@ -576,7 +715,9 @@ impl Worker {
         }
 
         // ④ Download the project archive and mount it.
-        self.crash_check(request, attempt, CrashPoint::Fetch, service_time)?;
+        if let Some(kind) = self.crash_decision_at(request, attempt, CrashPoint::Fetch) {
+            return claimed!(ClaimPlan::Crashed { kind, point: CrashPoint::Fetch });
+        }
         let before_fetch = service_time;
         let fetched = self.config.retry.run(
             self.op_seed(request.job_id, attempt, 1),
@@ -591,14 +732,8 @@ impl Worker {
         {
             Ok(tree) => tree,
             Err(e) => {
-                let mut out = fail(&self.broker, format!("failed to fetch project: {e}"), service_time);
-                let backoff = self
-                    .record_submission(request, &user, None, SimDuration::ZERO, false, log_bytes.get())
-                    .map_err(|_| self.db_crash(request, service_time))?;
-                out.service_time += backoff;
-                self.note_stage(request, attempt_no, stage::RECORDED, component::DB, started, service_time, out.service_time);
-                self.note_outcome(request, "fetch-failed", out.service_time);
-                return Ok(out);
+                reject(&self.broker, format!("failed to fetch project: {e}"));
+                return claimed!(ClaimPlan::Reject { user, outcome: "fetch-failed" });
             }
         };
         // Transfer latency: 100 MB/s from the file server. The span
@@ -614,151 +749,369 @@ impl Worker {
             service_time,
         );
 
-        self.crash_check(request, attempt, CrashPoint::Build, service_time)?;
         let mut limits = self.config.limits;
         if let Some(gpus) = spec.gpus {
             // The spec may *lower* the GPU count (future machine
             // requirements); it cannot exceed what the worker offers.
             limits.gpus = limits.gpus.min(gpus);
         }
-        let mut container = Container::create(&image, limits);
-        container.mount("/src", &project);
-        container.set_gpu_speed(self.config.gpu_speed);
         let dilation = self.contention_dilation(co_scheduled);
-        container.set_time_dilation(dilation);
+        let crash_build = self.crash_decision_at(request, attempt, CrashPoint::Build);
+        let crash_upload = self.crash_decision_at(request, attempt, CrashPoint::Upload);
+        claimed!(ClaimPlan::Run {
+            user,
+            spec,
+            image,
+            project,
+            limits,
+            gpu_speed: self.config.gpu_speed,
+            dilation,
+            crash_build,
+            crash_upload,
+        })
+    }
 
-        // ⑤ Execute the build commands, forwarding output.
-        container.run_script(spec.build.iter().map(String::as_str));
-        let report = container.destroy();
-        for line in &report.log {
-            publish(
-                &self.broker,
-                match line.stream {
-                    rai_sandbox::LogStream::Stdout => LogFrame::Out(line.text.clone()),
-                    rai_sandbox::LogStream::Stderr => LogFrame::Err(line.text.clone()),
-                },
-            );
+    /// Run a claimed job's execute phase: the sandboxed build + run
+    /// and upload preparation (⑤ and the pure half of ⑥).
+    ///
+    /// This is an associated function on purpose — it consumes the
+    /// claim by value and touches neither the worker nor any shared
+    /// service, so independent claims execute concurrently on pool
+    /// tasks (`rai_exec::Executor::run_jobs`) with results that are
+    /// byte-identical at any width. Every side effect (log frames,
+    /// stage spans, the upload) is buffered into the returned
+    /// [`ExecutedJob`] for [`Worker::commit`] to apply in claim order.
+    pub fn execute(claimed: ClaimedJob) -> ExecutedJob {
+        let ClaimedJob {
+            msg_id,
+            request,
+            attempt,
+            started,
+            mut service_time,
+            log_bytes,
+            plan,
+        } = claimed;
+        let mut frames = Vec::new();
+        let mut spans = Vec::new();
+        let mut run_facts = None;
+        let outcome = match plan {
+            ClaimPlan::Reject { user, outcome } => ExecOutcome::Reject { user, outcome },
+            ClaimPlan::Crashed { kind, point } => ExecOutcome::Crashed { kind, point },
+            ClaimPlan::Run {
+                user,
+                spec,
+                image,
+                project,
+                limits,
+                gpu_speed,
+                dilation,
+                crash_build,
+                crash_upload,
+            } => 'run: {
+                if let Some(kind) = crash_build {
+                    break 'run ExecOutcome::Crashed { kind, point: CrashPoint::Build };
+                }
+                let mut container = Container::create(&image, limits);
+                container.mount("/src", &project);
+                container.set_gpu_speed(gpu_speed);
+                container.set_time_dilation(dilation);
+
+                // ⑤ Execute the build commands, buffering output.
+                container.run_script(spec.build.iter().map(String::as_str));
+                let report = container.destroy();
+                for line in &report.log {
+                    frames.push(match line.stream {
+                        rai_sandbox::LogStream::Stdout => LogFrame::Out(line.text.clone()),
+                        rai_sandbox::LogStream::Stderr => LogFrame::Err(line.text.clone()),
+                    });
+                }
+                spans.push(StagedSpan {
+                    stage: stage::BUILT,
+                    component: component::SANDBOX,
+                    from: service_time,
+                    to: service_time,
+                });
+                let before_run = service_time;
+                service_time += report.elapsed;
+                spans.push(StagedSpan {
+                    stage: stage::RAN,
+                    component: component::SANDBOX,
+                    from: before_run,
+                    to: service_time,
+                });
+                run_facts = Some(RunFacts {
+                    elapsed: report.elapsed,
+                    limit_killed: matches!(report.status, ContainerStatus::Killed(_)),
+                });
+
+                if let Some(kind) = crash_upload {
+                    break 'run ExecOutcome::Crashed { kind, point: CrashPoint::Upload };
+                }
+                // The pure half of ⑥: archive /build and chunk it.
+                // The store conversation happens at commit.
+                let build_container = write_container(&report.build_dir);
+                let build_key = format!(
+                    "{}/{:08x}-build.tar.bz2",
+                    request.team.replace(' ', "-"),
+                    request.job_id
+                );
+                ExecOutcome::Built {
+                    user,
+                    container_len: build_container.len() as u64,
+                    prepared: PreparedUpload::prepare(&build_container),
+                    build_key,
+                    success: report.success(),
+                    measured: report.internal_timer_secs(),
+                    elapsed: report.elapsed,
+                }
+            }
+        };
+        ExecutedJob {
+            msg_id,
+            request,
+            attempt,
+            started,
+            service_time,
+            log_bytes,
+            frames,
+            spans,
+            run_facts,
+            outcome,
         }
-        self.note_stage(request, attempt_no, stage::BUILT, component::SANDBOX, started, service_time, service_time);
-        let before_run = service_time;
-        service_time += report.elapsed;
-        self.note_stage(request, attempt_no, stage::RAN, component::SANDBOX, started, before_run, service_time);
-        if let Some(t) = &self.telemetry {
-            t.histogram(names::SANDBOX_RUN_SECONDS, &[], 0.0, 5.0, 24)
-                .record(report.elapsed.as_secs_f64());
-            if matches!(report.status, ContainerStatus::Killed(_)) {
-                t.counter(names::SANDBOX_LIMIT_KILLS_TOTAL, &[]).inc();
+    }
+
+    /// Apply an executed job's buffered effects and seal it: flush log
+    /// frames, replay spans, commit the upload and database records,
+    /// then ack the message (terminal) or report the crash (unacked).
+    /// Batch schedulers must call this in claim order — it is the only
+    /// phase that talks to broker/store/db, so commit order *is* the
+    /// fault-draw order.
+    pub fn commit(&mut self, executed: ExecutedJob) -> StepEvent {
+        let msg_id = executed.msg_id;
+        let result = self.commit_job(executed);
+        if msg_id.is_some() {
+            self.active_jobs = self.active_jobs.saturating_sub(1);
+            self.set_active_gauge();
+        }
+        match result {
+            Ok(outcome) => {
+                if let Some(id) = msg_id {
+                    self.subscription.ack(id);
+                }
+                StepEvent::Done(outcome)
+            }
+            Err(report) => {
+                if msg_id.is_some() {
+                    if let Some(t) = &self.telemetry {
+                        t.counter(names::WORKER_CRASHES_TOTAL, &[("kind", report.kind.label())])
+                            .inc();
+                    }
+                }
+                StepEvent::Crashed(report)
+            }
+        }
+    }
+
+    /// Commit an executed job without touching message or in-flight
+    /// accounting (shared by [`Worker::commit`] and [`Worker::run_job`]).
+    fn commit_job(&mut self, executed: ExecutedJob) -> Result<JobOutcome, CrashReport> {
+        let attempt = executed.attempt;
+        let started = executed.started;
+        let job_id = executed.request.job_id;
+        let result = self.commit_apply(executed);
+        if let Err(report) = &result {
+            // Close the attempt's subtree with a zero-width crash
+            // marker so the trace shows where the wasted work ended —
+            // the next delivery opens a sibling attempt subtree.
+            if let Some(t) = &self.telemetry {
+                let at = started + report.wasted;
+                t.trace_span(job_id, attempt_no(attempt), stage::CRASHED, component::FAULT, at, at);
+            }
+        }
+        result
+    }
+
+    fn commit_apply(&mut self, executed: ExecutedJob) -> Result<JobOutcome, CrashReport> {
+        let ExecutedJob {
+            msg_id: _,
+            request,
+            attempt,
+            started,
+            mut service_time,
+            log_bytes,
+            frames,
+            spans,
+            run_facts,
+            outcome,
+        } = executed;
+        let attempt_no = attempt_no(attempt);
+        let log_topic = routes::log_topic(request.job_id);
+        let log_bytes = Cell::new(log_bytes);
+        let publish = |broker: &Broker, frame: LogFrame| {
+            let encoded = frame.encode();
+            log_bytes.set(log_bytes.get() + encoded.len() as u64);
+            let _ = broker.publish_ephemeral(&log_topic, encoded);
+        };
+        // Flush the execute phase's buffered effects first, preserving
+        // the per-job order of the sequential pipeline: stdout/stderr
+        // frames (publishing is faultable — the draw stream must not
+        // depend on pool interleaving), then spans, then sandbox
+        // metrics.
+        for frame in frames {
+            publish(&self.broker, frame);
+        }
+        for s in &spans {
+            self.note_stage(&request, attempt_no, s.stage, s.component, started, s.from, s.to);
+        }
+        if let Some(facts) = &run_facts {
+            if let Some(t) = &self.telemetry {
+                t.histogram(names::SANDBOX_RUN_SECONDS, &[], 0.0, 5.0, 24)
+                    .record(facts.elapsed.as_secs_f64());
+                if facts.limit_killed {
+                    t.counter(names::SANDBOX_LIMIT_KILLS_TOTAL, &[]).inc();
+                }
             }
         }
 
-        // ⑥ Upload /build and send the URL + End. The key is a pure
-        // function of (team, job_id): a redelivered attempt overwrites
-        // its own previous upload instead of duplicating it.
-        self.crash_check(request, attempt, CrashPoint::Upload, service_time)?;
-        let before_upload = service_time;
-        let build_container = write_container(&report.build_dir);
-        let build_key = format!("{}/{:08x}-build.tar.bz2", request.team.replace(' ', "-"), request.job_id);
-        let upload = self.config.retry.run(
-            self.op_seed(request.job_id, attempt, 2),
-            |_| {
-                self.delta.upload(
-                    &self.store,
-                    BUILD_BUCKET,
-                    &build_key,
-                    &build_container,
-                    [
-                        ("team".to_string(), request.team.clone()),
-                        (
-                            "kind".to_string(),
-                            match request.kind {
-                                JobKind::Run => "run".to_string(),
-                                JobKind::Submit => "final".to_string(),
-                            },
-                        ),
-                        ("source".to_string(), request.upload_key.clone()),
-                    ],
-                )
-            },
-        );
-        self.note_retries("store_put", upload.attempts);
-        service_time += upload.backoff;
-        let uploaded = upload.result.is_ok();
-        if uploaded {
-            // A presigned URL (valid 7 days) so the student downloads
-            // the archive without holding file-server credentials.
-            let expires = self.store.clock().now() + SimDuration::from_days(7);
-            publish(
-                &self.broker,
-                LogFrame::BuildUrl(self.store.presign(BUILD_BUCKET, &build_key, expires)),
-            );
-        }
-        // Transfer time is charged on the bytes that actually crossed
-        // the wire: a delta upload of a near-identical build tree is a
-        // few manifest-sized writes, not a whole re-archive. The span
-        // covers backoff + transfer, mirroring the fetch span.
-        let wire_bytes = match &upload.result {
-            Ok(receipt) => receipt.wire_bytes(),
-            Err(_) => build_container.len() as u64,
-        };
-        service_time += SimDuration::from_millis(wire_bytes / (100 * 1024) + 1);
-        self.note_stage(
-            request,
-            attempt_no,
-            stage::UPLOADED,
-            component::STORE,
-            started,
-            before_upload,
-            service_time,
-        );
+        match outcome {
+            ExecOutcome::Crashed { kind, point } => Err(CrashReport {
+                job_id: request.job_id,
+                team: request.team.clone(),
+                point,
+                kind,
+                wasted: service_time,
+            }),
+            ExecOutcome::Reject { user, outcome } => {
+                let backoff = self
+                    .record_submission(&request, &user, None, SimDuration::ZERO, false, log_bytes.get())
+                    .map_err(|_| self.db_crash(&request, service_time))?;
+                let total = service_time + backoff;
+                self.note_stage(&request, attempt_no, stage::RECORDED, component::DB, started, service_time, total);
+                self.note_outcome(&request, outcome, total);
+                Ok(JobOutcome {
+                    job_id: request.job_id,
+                    team: request.team.clone(),
+                    kind: request.kind,
+                    success: false,
+                    service_time: total,
+                    measured_secs: None,
+                })
+            }
+            ExecOutcome::Built {
+                user,
+                prepared,
+                container_len,
+                build_key,
+                success,
+                measured,
+                elapsed,
+            } => {
+                // ⑥ Commit the upload and send the URL + End. The key
+                // is a pure function of (team, job_id): a redelivered
+                // attempt overwrites its own previous upload instead of
+                // duplicating it.
+                let before_upload = service_time;
+                let upload = self.config.retry.run(
+                    self.op_seed(request.job_id, attempt, 2),
+                    |_| {
+                        self.delta.upload_prepared(
+                            &self.store,
+                            BUILD_BUCKET,
+                            &build_key,
+                            &prepared,
+                            [
+                                ("team".to_string(), request.team.clone()),
+                                (
+                                    "kind".to_string(),
+                                    match request.kind {
+                                        JobKind::Run => "run".to_string(),
+                                        JobKind::Submit => "final".to_string(),
+                                    },
+                                ),
+                                ("source".to_string(), request.upload_key.clone()),
+                            ],
+                        )
+                    },
+                );
+                self.note_retries("store_put", upload.attempts);
+                service_time += upload.backoff;
+                if upload.result.is_ok() {
+                    // A presigned URL (valid 7 days) so the student
+                    // downloads the archive without holding file-server
+                    // credentials.
+                    let expires = self.store.clock().now() + SimDuration::from_days(7);
+                    publish(
+                        &self.broker,
+                        LogFrame::BuildUrl(self.store.presign(BUILD_BUCKET, &build_key, expires)),
+                    );
+                }
+                // Transfer time is charged on the bytes that actually
+                // crossed the wire: a delta upload of a near-identical
+                // build tree is a few manifest-sized writes, not a
+                // whole re-archive. The span covers backoff + transfer,
+                // mirroring the fetch span.
+                let wire_bytes = match &upload.result {
+                    Ok(receipt) => receipt.wire_bytes(),
+                    Err(_) => container_len,
+                };
+                service_time += SimDuration::from_millis(wire_bytes / (100 * 1024) + 1);
+                self.note_stage(
+                    &request,
+                    attempt_no,
+                    stage::UPLOADED,
+                    component::STORE,
+                    started,
+                    before_upload,
+                    service_time,
+                );
+                publish(&self.broker, LogFrame::End { success });
 
-        let success = report.success();
-        let measured = report.internal_timer_secs();
-        publish(&self.broker, LogFrame::End { success });
+                // ⑦ Record the submission metadata. Failure to persist
+                // is a crash: the message stays unacked and redelivers.
+                let before_record = service_time;
+                let mut backoff = self
+                    .record_submission(&request, &user, measured, elapsed, success, log_bytes.get())
+                    .map_err(|_| self.db_crash(&request, service_time))?;
+                if request.kind == JobKind::Submit && success {
+                    backoff += self
+                        .record_ranking(&request, measured, elapsed, &build_key)
+                        .map_err(|_| self.db_crash(&request, service_time))?;
+                }
+                service_time += backoff;
+                self.note_stage(
+                    &request,
+                    attempt_no,
+                    stage::RECORDED,
+                    component::DB,
+                    started,
+                    before_record,
+                    service_time,
+                );
+                self.crash_check(&request, attempt, CrashPoint::Ack, service_time)?;
+                if let Some(t) = &self.telemetry {
+                    t.trace_span(
+                        request.job_id,
+                        attempt_no,
+                        stage::GRADED,
+                        component::WORKER,
+                        started + service_time,
+                        started + service_time,
+                    );
+                    let span = t.span("worker.job").label("worker", &self.config.worker_id);
+                    span.finish_at(started + service_time);
+                }
+                self.note_outcome(&request, if success { "ok" } else { "failed" }, service_time);
 
-        // ⑦ Record the submission metadata. Failure to persist is a
-        // crash: the message stays unacked and redelivers.
-        let before_record = service_time;
-        let mut backoff = self
-            .record_submission(request, &user, measured, report.elapsed, success, log_bytes.get())
-            .map_err(|_| self.db_crash(request, service_time))?;
-        if request.kind == JobKind::Submit && success {
-            backoff += self
-                .record_ranking(request, measured, report.elapsed, &build_key)
-                .map_err(|_| self.db_crash(request, service_time))?;
+                Ok(JobOutcome {
+                    job_id: request.job_id,
+                    team: request.team.clone(),
+                    kind: request.kind,
+                    success,
+                    service_time,
+                    measured_secs: measured,
+                })
+            }
         }
-        service_time += backoff;
-        self.note_stage(
-            request,
-            attempt_no,
-            stage::RECORDED,
-            component::DB,
-            started,
-            before_record,
-            service_time,
-        );
-        self.crash_check(request, attempt, CrashPoint::Ack, service_time)?;
-        if let Some(t) = &self.telemetry {
-            t.trace_span(
-                request.job_id,
-                attempt_no,
-                stage::GRADED,
-                component::WORKER,
-                started + service_time,
-                started + service_time,
-            );
-            let span = t.span("worker.job").label("worker", &self.config.worker_id);
-            span.finish_at(started + service_time);
-        }
-        self.note_outcome(request, if success { "ok" } else { "failed" }, service_time);
-
-        Ok(JobOutcome {
-            job_id: request.job_id,
-            team: request.team.clone(),
-            kind: request.kind,
-            success,
-            service_time,
-            measured_secs: measured,
-        })
     }
 
     /// Submission metadata — "execution times, run-times, and logs …

@@ -8,7 +8,7 @@
 //! the build environment has no registry access (same convention as
 //! the `compat/` shims).
 //!
-//! Three pieces:
+//! Four pieces:
 //!
 //! - [`Executor`] — a cheaply clonable handle, either *sequential*
 //!   (`parallelism <= 1`, every task runs inline on the caller; the
@@ -25,10 +25,47 @@
 //!   what makes offloading safe for the determinism gate
 //!   (`SemesterResult::fingerprint()` must be byte-identical at every
 //!   thread count; see DESIGN.md §12).
+//! - [`Executor::run_jobs`] — the **job scheduling API** (DESIGN.md
+//!   §15): one *claim → execute → commit* batch. The caller produces
+//!   claims serially (every shared-state touch point resolved in a
+//!   deterministic order), `execute` fans the pure middle of each job
+//!   across the pool, and `commit` is applied back on the calling
+//!   thread **in claim order**, no matter which pool worker finished
+//!   first. This is what lets independent submissions run concurrently
+//!   while fault draws, trace artifacts, and fingerprints stay
+//!   byte-identical at every pool width.
 //!
 //! Threads that join a scope *help*: while waiting they pull pending
 //! tasks off the pool and run them, so nested scopes make progress
 //! even on a one-worker pool (and on a one-core host).
+//!
+//! # Examples
+//!
+//! Ordered data parallelism:
+//!
+//! ```
+//! use rai_exec::Executor;
+//!
+//! let exec = Executor::new(4);
+//! let doubled = exec.par_map((0..8).collect::<Vec<u64>>(), |x| x * 2);
+//! assert_eq!(doubled, (0..8).map(|x| x * 2).collect::<Vec<_>>());
+//! ```
+//!
+//! A claim/execute/commit batch — commits land in claim order even
+//! though execution interleaves freely across the pool:
+//!
+//! ```
+//! use rai_exec::Executor;
+//!
+//! let exec = Executor::new(4);
+//! let mut committed = Vec::new();
+//! exec.run_jobs(
+//!     vec![1u64, 2, 3, 4],          // claims, in claim order
+//!     |n| n * n,                    // execute: pure, concurrent
+//!     |sq| committed.push(sq),      // commit: serial, claim order
+//! );
+//! assert_eq!(committed, vec![1, 4, 9, 16]);
+//! ```
 
 use parking_lot::{Condvar, Mutex};
 use std::any::Any;
@@ -80,6 +117,8 @@ struct Counters {
     stolen: AtomicU64,
     parked: AtomicU64,
     injected: AtomicU64,
+    batches: AtomicU64,
+    batch_jobs: AtomicU64,
 }
 
 impl Counters {
@@ -90,6 +129,8 @@ impl Counters {
             stolen: self.stolen.load(Ordering::Relaxed),
             parked: self.parked.load(Ordering::Relaxed),
             injected: self.injected.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batch_jobs: self.batch_jobs.load(Ordering::Relaxed),
         }
     }
 }
@@ -109,6 +150,10 @@ pub struct ExecStats {
     /// Jobs that went through the shared injector (spawns arriving from
     /// off-pool threads).
     pub injected: u64,
+    /// Claim/execute/commit batches scheduled via [`Executor::run_jobs`].
+    pub batches: u64,
+    /// Jobs those batches carried (batch sizes summed).
+    pub batch_jobs: u64,
 }
 
 impl Default for Executor {
@@ -231,6 +276,60 @@ impl Executor {
             }
         });
         slots.into_vec()
+    }
+
+    /// Run one *claim → execute → commit* batch of independent jobs
+    /// (the job scheduling model of DESIGN.md §15).
+    ///
+    /// `claims` is the batch in **claim order** — the caller produced
+    /// them serially, resolving every shared-state touch point (queue
+    /// pops, fault draws, cache updates) before any job executes.
+    /// `execute` is the pure middle of each job: it runs on pool tasks
+    /// and may finish in any order (on a sequential executor it runs
+    /// inline, in claim order). `commit` runs on the calling thread,
+    /// serially, in claim order — so side effects downstream of
+    /// execution (uploads, database records, acks) are applied in a
+    /// deterministic order no matter how the pool interleaved.
+    ///
+    /// For a pure `execute` the committed sequence is byte-identical
+    /// to running each job start-to-finish sequentially in claim
+    /// order, at any parallelism. A panic in `execute` is re-thrown
+    /// here after the whole batch joined, before any commit runs.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rai_exec::Executor;
+    ///
+    /// let exec = Executor::new(4);
+    /// let mut order = Vec::new();
+    /// let total: u64 = exec
+    ///     .run_jobs(
+    ///         vec![3u64, 1, 2],
+    ///         |n| n * 10,                      // concurrent
+    ///         |n| { order.push(n); n }         // serial, claim order
+    ///     )
+    ///     .into_iter()
+    ///     .sum();
+    /// assert_eq!(order, vec![30, 10, 20]);
+    /// assert_eq!(total, 60);
+    /// ```
+    pub fn run_jobs<C, T, O, E, K>(&self, claims: Vec<C>, execute: E, mut commit: K) -> Vec<O>
+    where
+        C: Send,
+        T: Send,
+        E: Fn(C) -> T + Sync,
+        K: FnMut(T) -> O,
+    {
+        let counters = self.counters();
+        counters.batches.fetch_add(1, Ordering::Relaxed);
+        counters
+            .batch_jobs
+            .fetch_add(claims.len() as u64, Ordering::Relaxed);
+        self.par_map(claims, execute)
+            .into_iter()
+            .map(&mut commit)
+            .collect()
     }
 
     /// Pull one pending job off the pool, if any: injector first, then
@@ -709,6 +808,86 @@ mod tests {
         assert_eq!(Executor::new(1).parallelism(), 1);
         assert_eq!(Executor::new(4).parallelism(), 4);
         assert!(!Executor::new(4).is_sequential());
+    }
+
+    #[test]
+    fn run_jobs_commits_in_claim_order_despite_pool_interleaving() {
+        // Earlier claims sleep longer, so pool completion order is the
+        // *reverse* of claim order — commits must come back in claim
+        // order anyway, and they must all run on the calling thread.
+        let exec = Executor::new(4);
+        let caller = std::thread::current().id();
+        let mut commit_order = Vec::new();
+        let out = exec.run_jobs(
+            (0..16usize).collect(),
+            |i| {
+                std::thread::sleep(Duration::from_micros(((16 - i) * 200) as u64));
+                i
+            },
+            |i| {
+                assert_eq!(std::thread::current().id(), caller);
+                commit_order.push(i);
+                i * 2
+            },
+        );
+        assert_eq!(commit_order, (0..16).collect::<Vec<_>>());
+        assert_eq!(out, (0..16).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_jobs_matches_sequential_at_any_width() {
+        let f = |x: u64| x.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (x >> 7);
+        let reference = {
+            let mut committed = Vec::new();
+            Executor::sequential().run_jobs(
+                (0..64).collect::<Vec<u64>>(),
+                f,
+                |y| committed.push(y),
+            );
+            committed
+        };
+        for width in [2, 8] {
+            let mut committed = Vec::new();
+            Executor::new(width).run_jobs(
+                (0..64).collect::<Vec<u64>>(),
+                f,
+                |y| committed.push(y),
+            );
+            assert_eq!(committed, reference, "commit drift at width {width}");
+        }
+    }
+
+    #[test]
+    fn run_jobs_execute_panic_reaches_caller_before_commits() {
+        let exec = Executor::new(2);
+        let committed = AtomicUsize::new(0);
+        let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+            exec.run_jobs(
+                vec![0, 1, 2],
+                |i| {
+                    if i == 1 {
+                        panic!("execute boom");
+                    }
+                    i
+                },
+                |i: i32| {
+                    committed.fetch_add(1, Ordering::SeqCst);
+                    i
+                },
+            )
+        }));
+        assert!(caught.is_err(), "execute panic must reach the batch caller");
+        assert_eq!(committed.load(Ordering::SeqCst), 0, "no commit after a poisoned batch");
+    }
+
+    #[test]
+    fn run_jobs_counts_batches() {
+        let exec = Executor::new(2);
+        exec.run_jobs(vec![1, 2, 3], |x: u32| x, |x| x);
+        exec.run_jobs(Vec::<u32>::new(), |x| x, |x| x);
+        let s = exec.stats();
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.batch_jobs, 3);
     }
 
     #[test]

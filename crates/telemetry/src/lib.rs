@@ -103,6 +103,8 @@ pub mod names {
     pub const EXEC_STOLEN_TOTAL: &str = "rai_exec_stolen_total";
     pub const EXEC_PARKED_TOTAL: &str = "rai_exec_parked_total";
     pub const EXEC_INJECTED_TOTAL: &str = "rai_exec_injected_total";
+    pub const EXEC_BATCHES_TOTAL: &str = "rai_exec_batches_total";
+    pub const EXEC_BATCH_JOBS_TOTAL: &str = "rai_exec_batch_jobs_total";
     // Write-ahead log counters, labeled per log ("log" = "db"/"store").
     pub const WAL_APPENDS_TOTAL: &str = "rai_wal_appends_total";
     pub const WAL_BYTES_TOTAL: &str = "rai_wal_bytes_total";

@@ -15,7 +15,7 @@ use rai_broker::dead_letter_topic;
 use rai_cluster::{InstanceId, InstanceType, WorkerPool};
 use rai_core::protocol::{routes, JobRequest};
 use rai_core::worker::StepEvent;
-use rai_core::{ProjectDir, RaiSystem, SubmitMode, SystemConfig};
+use rai_core::{ProjectDir, RaiSystem, SubmitMode, SystemConfig, Worker};
 use rai_faults::{CrashKind, FaultKind, FaultPlan};
 use rai_sim::{SimDuration, SimTime, VirtualClock};
 use rai_telemetry::{component, stage, JobTrace, MetricsSnapshot};
@@ -39,11 +39,11 @@ pub struct ChaosConfig {
     pub seed: u64,
     /// The fault plan to execute.
     pub plan: FaultPlan,
-    /// Payload-pipeline pool width (1 = sequential reference). Fault
-    /// draws are consumed per store/db/broker *operation*, and the
-    /// offload changes neither the number nor the order of those
-    /// operations, so chaos fingerprints are byte-identical at every
-    /// setting (DESIGN.md §12).
+    /// Job-pool width (1 = sequential reference). Whole submissions
+    /// execute concurrently at `N > 1`, but fault draws are consumed
+    /// only in the serial claim/commit phases — whose order is fixed
+    /// by the round structure, not the pool — so chaos fingerprints
+    /// are byte-identical at every setting (DESIGN.md §15).
     pub parallelism: usize,
 }
 
@@ -179,36 +179,54 @@ impl Driver {
         }
     }
 
-    /// Step every live worker until none makes progress. Crashes
-    /// restart the worker in place; stalls wait out the in-flight
-    /// timeout so the broker reclaims the held message.
+    /// Drive every live worker until none makes progress, one
+    /// scheduling round at a time: deaths land at the round boundary,
+    /// each live worker claims at most one job (serially, in worker
+    /// order — fault draws included), the round executes on the job
+    /// pool, and commits apply serially in claim order. The round
+    /// shape is independent of pool width, so fault draws, crashes,
+    /// and the final fingerprint are too. Crashes restart the worker
+    /// at the end of the round; stalls wait out the in-flight timeout
+    /// so the broker reclaims the held message.
     fn drive(&mut self) {
         loop {
-            let mut progressed = false;
+            self.apply_due_deaths();
+            let mut claims = Vec::new();
             for i in 0..self.alive.len() {
-                self.apply_due_deaths();
                 if !self.alive[i] {
                     continue;
                 }
-                match self.system.workers_mut()[i].try_step() {
-                    StepEvent::Idle => {}
-                    StepEvent::Done(outcome) => {
-                        self.clock.advance(outcome.service_time);
-                        progressed = true;
-                    }
-                    StepEvent::Crashed(report) => {
-                        self.clock.advance(report.wasted);
-                        if report.kind == CrashKind::Stall {
-                            self.clock.advance(MESSAGE_TIMEOUT);
-                            self.system.broker().reclaim_expired(MESSAGE_TIMEOUT);
-                        }
-                        self.system.workers_mut()[i].crash_recover();
-                        progressed = true;
-                    }
+                if let Some(claimed) = self.system.workers_mut()[i].claim() {
+                    claims.push((i, claimed));
                 }
             }
-            if !progressed {
+            if claims.is_empty() {
                 return;
+            }
+            let executor = self.system.executor().clone();
+            let mut advance = SimDuration::ZERO;
+            let mut stalled = false;
+            let mut crashed = Vec::new();
+            executor.run_jobs(
+                claims,
+                |(wi, claimed)| (wi, Worker::execute(claimed)),
+                |(wi, executed)| match self.system.workers_mut()[wi].commit(executed) {
+                    StepEvent::Idle => unreachable!("commit always seals its claim"),
+                    StepEvent::Done(outcome) => advance += outcome.service_time,
+                    StepEvent::Crashed(report) => {
+                        advance += report.wasted;
+                        stalled |= report.kind == CrashKind::Stall;
+                        crashed.push(wi);
+                    }
+                },
+            );
+            self.clock.advance(advance);
+            if stalled {
+                self.clock.advance(MESSAGE_TIMEOUT);
+                self.system.broker().reclaim_expired(MESSAGE_TIMEOUT);
+            }
+            for wi in crashed {
+                self.system.workers_mut()[wi].crash_recover();
             }
         }
     }

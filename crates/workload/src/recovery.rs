@@ -29,7 +29,7 @@ use rai_broker::dead_letter_topic;
 use rai_cluster::{InstanceId, InstanceType, WorkerPool};
 use rai_core::protocol::{routes, JobRequest};
 use rai_core::worker::StepEvent;
-use rai_core::{ProjectDir, RaiSystem, RecoveryReport, SubmitMode, SystemConfig};
+use rai_core::{ProjectDir, RaiSystem, RecoveryReport, SubmitMode, SystemConfig, Worker};
 use rai_faults::{CrashKind, DiskFault, DiskFaultProfile, FaultKind};
 use rai_sim::{SimDuration, SimTime, VirtualClock};
 use rai_telemetry::MetricsSnapshot;
@@ -45,8 +45,9 @@ pub struct KillPoint {
     pub round: usize,
     /// When within the round: `None` kills right after the round's
     /// submissions are accepted (jobs queued, none processed);
-    /// `Some(n)` kills after `n` worker step events of the round's
-    /// processing; `Some(u64::MAX)` kills at the round boundary, after
+    /// `Some(n)` kills after `n` job commits of the round's
+    /// processing — between two serial commit points, whatever the
+    /// pool width; `Some(u64::MAX)` kills at the round boundary, after
     /// the queue fully drains.
     pub after_steps: Option<u64>,
 }
@@ -226,41 +227,74 @@ impl Driver {
         }
     }
 
-    /// Step every live worker until none makes progress, or until the
-    /// cumulative step count reaches `kill_at_step` (returns `true`:
-    /// the process dies here, mid-queue, claims and all).
+    /// Drive every live worker until none makes progress, or until the
+    /// cumulative *commit* count reaches `kill_at_step` (returns
+    /// `true`: the process dies here, mid-queue, claims and all).
+    ///
+    /// Rounds follow the chaos driver's shape — serial claims in
+    /// worker order, pooled execution, serial commits in claim order —
+    /// so the kill always lands between two commits regardless of pool
+    /// width. Execution is pure (commits are the only store/db/broker
+    /// mutation points), so a mid-round kill simply drops the round's
+    /// executed-but-uncommitted jobs on the floor: their claims were
+    /// never acked and their effects were never applied, exactly as if
+    /// the process had died holding them.
     fn drive(&mut self, kill_at_step: Option<u64>) -> bool {
+        let kill_due = |steps: u64| kill_at_step.is_some_and(|k| steps >= k);
+        if kill_due(self.steps) {
+            return true;
+        }
         loop {
-            let mut progressed = false;
+            self.apply_due_deaths();
+            let mut claims = Vec::new();
             for i in 0..self.alive.len() {
-                self.apply_due_deaths();
                 if !self.alive[i] {
                     continue;
                 }
-                match self.system.workers_mut()[i].try_step() {
-                    StepEvent::Idle => {}
-                    StepEvent::Done(outcome) => {
-                        self.clock.advance(outcome.service_time);
-                        self.steps += 1;
-                        progressed = true;
-                    }
-                    StepEvent::Crashed(report) => {
-                        self.clock.advance(report.wasted);
-                        if report.kind == CrashKind::Stall {
-                            self.clock.advance(MESSAGE_TIMEOUT);
-                            self.system.broker().reclaim_expired(MESSAGE_TIMEOUT);
-                        }
-                        self.system.workers_mut()[i].crash_recover();
-                        self.steps += 1;
-                        progressed = true;
-                    }
-                }
-                if kill_at_step.is_some_and(|k| self.steps >= k) {
-                    return true;
+                if let Some(claimed) = self.system.workers_mut()[i].claim() {
+                    claims.push((i, claimed));
                 }
             }
-            if !progressed {
+            if claims.is_empty() {
                 return false;
+            }
+            let executor = self.system.executor().clone();
+            let mut advance = SimDuration::ZERO;
+            let mut stalled = false;
+            let mut crashed = Vec::new();
+            let mut killed = false;
+            executor.run_jobs(
+                claims,
+                |(wi, claimed)| (wi, Worker::execute(claimed)),
+                |(wi, executed)| {
+                    if killed {
+                        // The process is dead: un-acked, un-committed
+                        // work evaporates with it.
+                        return;
+                    }
+                    match self.system.workers_mut()[wi].commit(executed) {
+                        StepEvent::Idle => unreachable!("commit always seals its claim"),
+                        StepEvent::Done(outcome) => advance += outcome.service_time,
+                        StepEvent::Crashed(report) => {
+                            advance += report.wasted;
+                            stalled |= report.kind == CrashKind::Stall;
+                            crashed.push(wi);
+                        }
+                    }
+                    self.steps += 1;
+                    killed = kill_due(self.steps);
+                },
+            );
+            self.clock.advance(advance);
+            if killed {
+                return true;
+            }
+            if stalled {
+                self.clock.advance(MESSAGE_TIMEOUT);
+                self.system.broker().reclaim_expired(MESSAGE_TIMEOUT);
+            }
+            for wi in crashed {
+                self.system.workers_mut()[wi].crash_recover();
             }
         }
     }

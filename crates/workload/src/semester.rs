@@ -9,7 +9,8 @@ use crate::circadian::CircadianModel;
 use crate::teams::TeamRoster;
 use rai_cluster::{InstanceType, PhaseSchedule, ReactiveAutoscaler, ScaleAction, WorkerPool};
 use rai_core::client::PendingJob;
-use rai_core::{RaiSystem, SubmitMode, SystemConfig};
+use rai_core::worker::StepEvent;
+use rai_core::{RaiSystem, SubmitMode, SystemConfig, Worker};
 use rai_sim::{SimDuration, SimTime, Simulation, VirtualClock};
 use rai_telemetry::{
     component, duration_micros, names, stage, GaugeSeries, JobTrace, LogHistogram,
@@ -43,14 +44,14 @@ pub struct SemesterConfig {
     /// pre-overhaul full-scan configuration `perf_report` times as its
     /// reference run; results and fingerprints are identical.
     pub db_hot_indexes: bool,
-    /// Width of the work-stealing pool the payload pipeline (chunking,
-    /// digesting, chunk validation) runs on. `1` — the preserved
-    /// reference configuration — keeps every transform inline on the
-    /// event loop; `N > 1` offloads pure byte-crunching to an N-worker
-    /// `rai_exec` pool. The event loop itself stays sequential either
-    /// way and offloaded results join in input order, so
+    /// Width of the `rai_exec` pool whole submissions execute on. `1`
+    /// — the preserved reference configuration — runs each job inline;
+    /// `N > 1` executes up to `N` independent submissions concurrently
+    /// between their serial claim and commit phases (plus the payload
+    /// pipeline's chunking/digesting offload). Claims and commits stay
+    /// on the event loop in FIFO order, so
     /// [`SemesterResult::fingerprint`] is byte-identical at every
-    /// setting (DESIGN.md §12).
+    /// setting (DESIGN.md §15).
     pub parallelism: usize,
 }
 
@@ -262,36 +263,65 @@ fn sample_pressure(state: &mut SemState, now: SimTime) {
 
 fn dispatch(state: &mut SemState, sched: &mut Sched<'_>) {
     let now = sched.now();
-    while state.in_flight < state.capacity(now) && !state.waiting.is_empty() {
-        // The broker is FIFO, so the head of `waiting` is what the
-        // worker will pop.
-        let expect_id = state.waiting.pop_front().expect("non-empty checked");
-        let wi = state.next_worker;
-        state.next_worker = state.next_worker.wrapping_add(1);
+    loop {
+        // One scheduling round: claim up to the free capacity in FIFO
+        // order (the broker is FIFO, so the head of `waiting` is what
+        // the next worker will pop), at most one job per worker so the
+        // batch shape — and therefore every per-worker draw sequence —
+        // is independent of pool width.
         let n_workers = state.system.workers_mut().len();
-        let outcome = state.system.workers_mut()[wi % n_workers]
-            .step()
-            .expect("broker held a queued job");
-        let (pending, submitted_at) = state
-            .pending
-            .remove(&outcome.job_id)
-            .expect("every queued job has a pending entry");
-        debug_assert_eq!(outcome.job_id, expect_id);
-        state
-            .waits
-            .record_micros(duration_micros(now.duration_since(submitted_at)));
-        if !outcome.success {
-            state.failures += 1;
+        let budget = state
+            .capacity(now)
+            .saturating_sub(state.in_flight)
+            .min(state.waiting.len())
+            .min(n_workers);
+        if budget == 0 {
+            return;
         }
-        // Drain the log stream so the ephemeral topic is GC'd.
-        let _ = pending.wait(Duration::from_millis(50));
-        state.in_flight += 1;
-        sample_pressure(state, now);
-        sched.after(outcome.service_time, |state: &mut SemState, sched: &mut Sched<'_>| {
-            state.in_flight -= 1;
-            sample_pressure(state, sched.now());
-            dispatch(state, sched);
-        });
+        let mut claims = Vec::with_capacity(budget);
+        for _ in 0..budget {
+            let expect_id = state.waiting.pop_front().expect("bounded by len");
+            let wi = state.next_worker % n_workers;
+            state.next_worker = state.next_worker.wrapping_add(1);
+            let claimed = state.system.workers_mut()[wi]
+                .claim()
+                .expect("broker held a queued job");
+            debug_assert_eq!(claimed.job_id(), expect_id);
+            claims.push((wi, claimed));
+        }
+        // Execute the round on the job pool; commit serially in claim
+        // order, so db rows, waits, and follow-up events land exactly
+        // as the sequential reference does.
+        let executor = state.system.executor().clone();
+        executor.run_jobs(
+            claims,
+            |(wi, claimed)| (wi, Worker::execute(claimed)),
+            |(wi, executed)| {
+                let outcome = match state.system.workers_mut()[wi].commit(executed) {
+                    StepEvent::Done(outcome) => outcome,
+                    _ => unreachable!("semester jobs neither crash nor idle"),
+                };
+                let (pending, submitted_at) = state
+                    .pending
+                    .remove(&outcome.job_id)
+                    .expect("every queued job has a pending entry");
+                state
+                    .waits
+                    .record_micros(duration_micros(now.duration_since(submitted_at)));
+                if !outcome.success {
+                    state.failures += 1;
+                }
+                // Drain the log stream so the ephemeral topic is GC'd.
+                let _ = pending.wait(Duration::from_millis(50));
+                state.in_flight += 1;
+                sample_pressure(state, now);
+                sched.after(outcome.service_time, |state: &mut SemState, sched: &mut Sched<'_>| {
+                    state.in_flight -= 1;
+                    sample_pressure(state, sched.now());
+                    dispatch(state, sched);
+                });
+            },
+        );
     }
 }
 

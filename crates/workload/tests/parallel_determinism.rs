@@ -1,13 +1,18 @@
-//! Determinism across pool widths: the `parallelism` knob routes pure
-//! byte-crunching (chunking, digesting, chunk validation) onto a
-//! work-stealing pool, but every offloaded result joins in input order
-//! and no store/db/broker operation is added, removed, or reordered.
-//! Semester and chaos fingerprints must therefore be byte-identical at
-//! every thread count — including widths above the host core count.
+//! Determinism across pool widths: the `parallelism` knob executes
+//! whole submissions concurrently between their serial claim and
+//! commit phases (and still offloads pure byte-crunching), but claims
+//! and commits stay on the event loop in a round structure the pool
+//! width cannot see, so no store/db/broker operation is added,
+//! removed, or reordered. Semester, chaos, and restart-resume
+//! fingerprints must therefore be byte-identical at every thread
+//! count — including widths above the host core count — even with
+//! seeded worker crashes and a process kill landing mid-round.
 
 use proptest::prelude::*;
 use rai_workload::chaos::{run_chaos, ChaosConfig};
+use rai_workload::recovery::{run_recovery, KillPoint, RecoveryConfig};
 use rai_workload::semester::{run_semester, SemesterConfig};
+use rai_wal::DurabilityConfig;
 
 fn semester_fingerprint(seed: u64, parallelism: usize) -> u64 {
     let cfg = SemesterConfig::scaled(4, 6, seed).with_parallelism(parallelism);
@@ -17,6 +22,23 @@ fn semester_fingerprint(seed: u64, parallelism: usize) -> u64 {
 fn chaos_fingerprint(seed: u64, parallelism: usize) -> u64 {
     let result = run_chaos(&ChaosConfig::quick(seed).with_parallelism(parallelism));
     result.verify().expect("chaos invariants hold on the pool");
+    result.fingerprint
+}
+
+/// A restart-resume run under the full quick chaos plan (seeded worker
+/// crashes and stalls included), killed three commits into round 4 —
+/// mid-round, so at widths > 1 the kill drops executed-but-uncommitted
+/// pool work on the floor.
+fn recovery_fingerprint(seed: u64, parallelism: usize) -> u64 {
+    let cfg = RecoveryConfig {
+        chaos: ChaosConfig::quick(seed).with_parallelism(parallelism),
+        kill: Some(KillPoint::mid_drive(4, 3)),
+        disk_faults: None,
+        durability: DurabilityConfig::durable(),
+    };
+    let result = run_recovery(&cfg);
+    assert!(result.killed, "seed {seed}: the mid-round kill fired");
+    result.verify().expect("no-lost across restart on the pool");
     result.fingerprint
 }
 
@@ -48,6 +70,24 @@ proptest! {
                 reference,
                 chaos_fingerprint(seed, threads),
                 "seed {} diverged at parallelism {}",
+                seed,
+                threads
+            );
+        }
+    }
+
+    /// Same seed, any pool width, same bytes across a process kill:
+    /// the mid-round kill lands between the same two commits at every
+    /// width, because commits serialize in claim order and execution
+    /// is pure.
+    #[test]
+    fn recovery_fingerprint_is_parallelism_invariant(seed in 0u64..1_000) {
+        let reference = recovery_fingerprint(seed, 1);
+        for threads in [2usize, 8] {
+            prop_assert_eq!(
+                reference,
+                recovery_fingerprint(seed, threads),
+                "seed {} diverged across restart at parallelism {}",
                 seed,
                 threads
             );
