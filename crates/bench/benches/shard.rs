@@ -1,0 +1,103 @@
+//! Lock-domain sharding micro-benchmarks (DESIGN.md §16): the chunk
+//! arena under concurrent `put_delta` load at one lock vs eight, and
+//! the hash-partitioned collection's covering `find_with` k-way merge.
+//! Results are host facts (they move with core count and scheduling);
+//! the byte-identity story lives in the workload proptests, not here.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rai_archive::chunk::{chunk_bytes, Chunk, ChunkManifest, ChunkerParams};
+use rai_db::{doc, Collection, FindOptions};
+use rai_sim::VirtualClock;
+use rai_store::{LifecycleRule, ObjectStore};
+
+fn varied(len: usize, seed: u64) -> Vec<u8> {
+    let mut state = seed;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u8
+        })
+        .collect()
+}
+
+/// Concurrent `put_delta` of distinct payloads: with one arena lock
+/// every installer serializes on the refcount table; with shards the
+/// installs only meet where their digests collide on a shard.
+fn bench_sharded_put_delta(c: &mut Criterion) {
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 8;
+    // Pre-chunk outside the measurement: the bench times the store's
+    // admit → journal → install path, not the chunker.
+    let uploads: Vec<(ChunkManifest, Vec<Chunk>)> = (0..THREADS * PER_THREAD)
+        .map(|i| chunk_bytes(&varied(16 * 1024, i as u64 + 1), ChunkerParams::DEFAULT))
+        .collect();
+    let mut g = c.benchmark_group("store/sharded_put_delta");
+    for shards in [1usize, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(shards), &shards, |b, &shards| {
+            b.iter_with_setup(
+                || {
+                    let s = ObjectStore::with_shards(VirtualClock::new(), shards);
+                    s.create_bucket("b", LifecycleRule::one_month_after_last_use())
+                        .expect("fresh store");
+                    s
+                },
+                |s| {
+                    std::thread::scope(|scope| {
+                        for t in 0..THREADS {
+                            let s = &s;
+                            let slice = &uploads[t * PER_THREAD..(t + 1) * PER_THREAD];
+                            scope.spawn(move || {
+                                for (i, (manifest, chunks)) in slice.iter().enumerate() {
+                                    s.put_delta("b", &format!("{t}/{i}"), manifest, chunks, [])
+                                        .expect("delta put");
+                                }
+                            });
+                        }
+                    });
+                    assert_eq!(s.usage().objects as usize, THREADS * PER_THREAD);
+                },
+            );
+        });
+    }
+    g.finish();
+}
+
+fn seeded(shards: usize, n: usize) -> Collection {
+    let mut coll = Collection::with_shards(shards);
+    for i in 0..n {
+        coll.insert_one(doc! {
+            "team" => format!("team-{:04}", (i * 7919) % n),
+            "runtime_secs" => 0.3 + (i as f64 * 7.31) % 120.0,
+            "final" => i % 3 == 0,
+        });
+    }
+    coll.create_index("team");
+    coll.create_index("runtime_secs");
+    coll
+}
+
+/// The covering `find_with` path: a sorted scan that the sharded
+/// collection answers by k-way-merging per-shard secondary indexes.
+fn bench_sharded_find_with(c: &mut Criterion) {
+    let mut g = c.benchmark_group("db/sharded_find_with");
+    for shards in [1usize, 8] {
+        let coll = seeded(shards, 10_000);
+        g.bench_with_input(BenchmarkId::from_parameter(shards), &coll, |b, coll| {
+            let opts = FindOptions {
+                limit: Some(100),
+                ..FindOptions::sort_asc("team")
+            };
+            b.iter(|| {
+                let top = coll.find_with(&doc! { "final" => true }, &opts);
+                assert_eq!(top.len(), 100);
+                criterion::black_box(top)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sharded_put_delta, bench_sharded_find_with);
+criterion_main!(benches);

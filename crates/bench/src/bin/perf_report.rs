@@ -24,22 +24,31 @@
 //!    scheduling round execute concurrently between their serial
 //!    claim/commit points, so `semester_speedup_at_4` is the headline
 //!    intra-run measure and the replica fan-out the embarrassingly
-//!    parallel ceiling.
+//!    parallel ceiling;
+//! 6. the sharded commit-lane measure (DESIGN.md §16): a fault-free
+//!    `drive_until` drain of conflict-free jobs (distinct payloads,
+//!    distinct teams) at `shards` 1 vs 4, asserting identical outcome
+//!    digests and recording `commit_lane_speedup_at_4`. The semester
+//!    is also re-run at `shards = 4` and must reproduce the reference
+//!    fingerprint exactly.
 //!
 //! Check mode (`--check`, the CI smoke job) re-runs the semester and
 //! chaos scenarios at the requested pool width (`--parallelism N`,
-//! default 1), verifies the committed `BENCH_perf.json` schema,
-//! asserts the fingerprints still match the committed values exactly
-//! (the committed fingerprints were recorded at width 1, so this *is*
-//! the cross-width determinism gate), and fails if semester wall-clock
+//! default 1) and shard count (`--shards N`, default 1), verifies the
+//! committed `BENCH_perf.json` schema, asserts the fingerprints still
+//! match the committed values exactly (the committed fingerprints were
+//! recorded at width 1 / shards 1, so this *is* the cross-width,
+//! cross-shard determinism gate), and fails if semester wall-clock
 //! regressed more than 25% over the committed baseline. When the
 //! requested width and the host both have >= 4 cores it re-measures
 //! the single-run semester and the replica fan-out at widths 1 and 4
-//! and enforces the >= 1.5x job-level speedup floor on both. It
-//! writes nothing.
+//! and enforces the >= 1.5x job-level speedup floor on both; when the
+//! requested shard count and the host both have >= 4, it re-measures
+//! the commit-lane drain at shards 1 and 4 and enforces the >= 1.3x
+//! lane floor. It writes nothing.
 //!
 //! ```text
-//! cargo run --release -p rai-bench --bin perf_report [--check] [--parallelism N] [seed]
+//! cargo run --release -p rai-bench --bin perf_report [--check] [--parallelism N] [--shards N] [seed]
 //! ```
 //!
 //! The JSON schema is documented in EXPERIMENTS.md. Fingerprints are
@@ -81,6 +90,13 @@ const MIN_FANOUT_SPEEDUP: f64 = 1.5;
 /// scheduling gate (DESIGN.md §15). Same arming rule as the fan-out
 /// floor: a real multi-core gate needs real cores.
 const MIN_SEMESTER_SPEEDUP: f64 = 1.5;
+
+/// Commit-lane drain: jobs and fleet shape for the sharded scheduler
+/// measure (DESIGN.md §16), and its speedup floor at shards 4 vs 1 —
+/// armed under the same >= 4-core rule.
+const LANE_JOBS: usize = 48;
+const LANE_WORKERS: usize = 8;
+const MIN_LANE_SPEEDUP: f64 = 1.3;
 
 fn host_cpus() -> usize {
     std::thread::available_parallelism()
@@ -312,6 +328,70 @@ fn assert_fanout_floor(speedup: f64, cpus: usize) {
     }
 }
 
+/// Queue `LANE_JOBS` conflict-free jobs (distinct payloads, distinct
+/// teams — no shared chunk digest, no shared ranking row) on a
+/// fault-free system and time the `drive_until` drain. At `shards = 1`
+/// every commit serializes in claim order; at `shards = 4` commits
+/// spread across four lanes keyed by `job_id % 4` (DESIGN.md §16).
+/// Returns (wall, outcome digest) — the digest must be identical at
+/// every shard count.
+fn lane_drain(shards: usize, seed: u64) -> Timed<u64> {
+    use rai_core::{ProjectDir, RaiSystem, SubmitMode, SystemConfig};
+    let mut system = RaiSystem::new(SystemConfig {
+        workers: LANE_WORKERS,
+        parallelism: 4,
+        shards,
+        rate_limit: None,
+        seed,
+        ..Default::default()
+    });
+    let teams: Vec<_> = (0..LANE_JOBS)
+        .map(|i| system.register_team(&format!("lane-{i:02}"), &[]))
+        .collect();
+    for (i, creds) in teams.iter().enumerate() {
+        let project = ProjectDir::cuda_project_with_perf(
+            250.0 + i as f64 * 13.7,
+            0.9,
+            512 + i as u64,
+        );
+        system
+            .client_for(creds)
+            .begin_submit(&project, SubmitMode::Run)
+            .expect("queue lane job");
+    }
+    timed(|| {
+        let outcomes = system.drain();
+        assert_eq!(outcomes.len(), LANE_JOBS, "every lane job terminated");
+        let mut digest = 0xcbf29ce484222325u64;
+        let mut fold = |v: u64| {
+            digest ^= v;
+            digest = digest.wrapping_mul(0x100000001b3);
+        };
+        for o in &outcomes {
+            fold(o.job_id);
+            fold(o.success as u64);
+            fold(o.service_time.as_secs_f64().to_bits());
+        }
+        digest
+    })
+}
+
+/// Enforce the commit-lane floor — the sharded scheduler's gate —
+/// under the same >= 4-core arming rule as the other live floors.
+fn assert_lane_floor(speedup: f64, cpus: usize) {
+    if cpus >= 4 {
+        assert!(
+            speedup >= MIN_LANE_SPEEDUP,
+            "commit-lane speedup {speedup:.2}x at shards 4 below the \
+             {MIN_LANE_SPEEDUP}x floor on a {cpus}-core host"
+        );
+    } else {
+        println!(
+            "  (commit-lane floor dormant: host has {cpus} core(s), needs >= 4 to scale)"
+        );
+    }
+}
+
 /// Enforce the single-run semester floor — the job-level scheduler's
 /// gate — under the same arming rule.
 fn assert_semester_floor(speedup: f64, cpus: usize) {
@@ -342,6 +422,8 @@ struct Report {
     fanout_msgs_s: f64,
     scaling: Vec<ScalingLevel>,
     host_cpus: usize,
+    lane_wall_at_1: f64,
+    lane_wall_at_4: f64,
 }
 
 fn render(r: &Report) -> String {
@@ -349,7 +431,7 @@ fn render(r: &Report) -> String {
     let chaos = &r.chaos.result;
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"rai-perf-bench/3\",\n");
+    out.push_str("  \"schema\": \"rai-perf-bench/4\",\n");
     out.push_str(&format!("  \"seed\": {},\n", r.seed));
     out.push_str("  \"reference\": {\n");
     out.push_str(
@@ -453,6 +535,28 @@ fn render(r: &Report) -> String {
     out.push_str(
         "    \"note\": \"fingerprints are byte-identical at every width; the job-level scheduler executes independent submissions of a scheduling round concurrently between their serial claim/commit points (DESIGN.md 15), so the single-run semester scales with width and the replica fan-out is the embarrassingly parallel ceiling\"\n",
     );
+    out.push_str("  },\n");
+    out.push_str("  \"sharding\": {\n");
+    out.push_str(&format!("    \"lane_jobs\": {LANE_JOBS},\n"));
+    out.push_str(&format!("    \"lane_workers\": {LANE_WORKERS},\n"));
+    out.push_str(&format!(
+        "    \"commit_lane_wall_secs_at_1\": {:.4},\n",
+        r.lane_wall_at_1
+    ));
+    out.push_str(&format!(
+        "    \"commit_lane_wall_secs_at_4\": {:.4},\n",
+        r.lane_wall_at_4
+    ));
+    out.push_str(&format!(
+        "    \"commit_lane_speedup_at_4\": {:.2},\n",
+        r.lane_wall_at_1 / r.lane_wall_at_4
+    ));
+    out.push_str(&format!(
+        "    \"floor\": \"commit_lane_speedup_at_4 >= {MIN_LANE_SPEEDUP} enforced when host_cpus >= 4\",\n"
+    ));
+    out.push_str(
+        "    \"note\": \"shard assignment is a pure function of digest/key/job id (DESIGN.md 16): outcome digests, semester fingerprints, and recovery audits are byte-identical at every shard count, while conflict-free commits of a round spread across shards lanes\"\n",
+    );
     out.push_str("  }\n");
     out.push_str("}\n");
     out
@@ -481,11 +585,11 @@ fn extract<'a>(json: &'a str, section: &str, key: &str) -> &'a str {
 
 // ----------------------------------------------------------------- main
 
-fn check(seed: u64, parallelism: usize) {
+fn check(seed: u64, parallelism: usize, shards: usize) {
     let committed =
         std::fs::read_to_string("BENCH_perf.json").expect("read committed BENCH_perf.json");
     let schema = extract(&committed, "schema", "schema");
-    assert_eq!(schema, "rai-perf-bench/3", "unexpected schema");
+    assert_eq!(schema, "rai-perf-bench/4", "unexpected schema");
     let committed_sem_fp = extract(&committed, "semester", "fingerprint").to_string();
     let committed_chaos_fp = extract(&committed, "chaos", "fingerprint").to_string();
     let committed_wall: f64 = extract(&committed, "semester", "wall_secs")
@@ -503,7 +607,15 @@ fn check(seed: u64, parallelism: usize) {
     let committed_semester_speedup: f64 = extract(&committed, "scaling", "semester_speedup_at_4")
         .parse()
         .expect("scaling semester_speedup_at_4 is a number");
+    let committed_lane_speedup: f64 = extract(&committed, "sharding", "commit_lane_speedup_at_4")
+        .parse()
+        .expect("sharding commit_lane_speedup_at_4 is a number");
     if committed_cpus >= 4 {
+        assert!(
+            committed_lane_speedup >= MIN_LANE_SPEEDUP,
+            "committed commit-lane speedup {committed_lane_speedup:.2}x below the \
+             {MIN_LANE_SPEEDUP}x floor (recorded on a {committed_cpus}-core host)"
+        );
         assert!(
             committed_fanout >= MIN_FANOUT_SPEEDUP,
             "committed replica fan-out speedup {committed_fanout:.2}x below the \
@@ -524,12 +636,16 @@ fn check(seed: u64, parallelism: usize) {
     let mut best_wall = f64::INFINITY;
     for _ in 0..3 {
         let semester = timed(|| {
-            run_semester(&SemesterConfig::scaled(TEAMS, DAYS, seed).with_parallelism(parallelism))
+            run_semester(
+                &SemesterConfig::scaled(TEAMS, DAYS, seed)
+                    .with_parallelism(parallelism)
+                    .with_shards(shards),
+            )
         });
         let sem_fp = format!("{:#018x}", semester.result.fingerprint());
         assert_eq!(
             sem_fp, committed_sem_fp,
-            "semester fingerprint at parallelism {parallelism} drifted from the committed baseline"
+            "semester fingerprint at parallelism {parallelism} shards {shards} drifted from the committed baseline"
         );
         best_wall = best_wall.min(semester.wall);
         if best_wall <= committed_wall * MAX_WALL_DRIFT {
@@ -537,19 +653,23 @@ fn check(seed: u64, parallelism: usize) {
         }
     }
     let chaos = timed(|| {
-        run_chaos(&ChaosConfig::acceptance(seed).with_parallelism(parallelism))
+        run_chaos(
+            &ChaosConfig::acceptance(seed)
+                .with_parallelism(parallelism)
+                .with_shards(shards),
+        )
     });
     chaos.result.verify().expect("chaos audit");
     let chaos_fp = format!("{:#018x}", chaos.result.fingerprint);
     assert_eq!(
         chaos_fp, committed_chaos_fp,
-        "chaos fingerprint at parallelism {parallelism} drifted from the committed baseline"
+        "chaos fingerprint at parallelism {parallelism} shards {shards} drifted from the committed baseline"
     );
     // The drift band gates the reference configuration only: at width
     // > 1 an under-provisioned host pays pool-parking overhead that
     // says nothing about a code regression (the width-1 CI job already
     // guards the wall; this job guards fingerprints and the floor).
-    if parallelism == 1 {
+    if parallelism == 1 && shards == 1 {
         assert!(
             best_wall <= committed_wall * MAX_WALL_DRIFT,
             "semester wall {best_wall:.3}s (best of 3) regressed more than {:.0}% over committed {committed_wall:.3}s",
@@ -593,14 +713,33 @@ fn check(seed: u64, parallelism: usize) {
         assert_fanout_floor(speedup, cpus);
     }
 
-    if parallelism == 1 {
+    // Live commit-lane gate: the sharded drain must reproduce the
+    // single-lock outcome digest exactly, and on a multi-core host the
+    // lane speedup must clear its floor.
+    if shards >= 4 {
+        let cpus = host_cpus();
+        let single = lane_drain(1, seed);
+        let sharded = lane_drain(4, seed);
+        assert_eq!(
+            single.result, sharded.result,
+            "lane-drain outcome digests diverged between shards 1 and 4"
+        );
+        let lane_speedup = single.wall / sharded.wall;
+        println!(
+            "perf check: commit-lane drain {:.3}s -> {:.3}s ({lane_speedup:.2}x) on {cpus} core(s)",
+            single.wall, sharded.wall
+        );
+        assert_lane_floor(lane_speedup, cpus);
+    }
+
+    if parallelism == 1 && shards == 1 {
         println!(
             "perf check: fingerprints match ({committed_sem_fp} / {chaos_fp}) at parallelism 1, wall {best_wall:.3}s within {:.0}% of committed {committed_wall:.3}s",
             (MAX_WALL_DRIFT - 1.0) * 100.0,
         );
     } else {
         println!(
-            "perf check: fingerprints match ({committed_sem_fp} / {chaos_fp}) at parallelism {parallelism}, wall {best_wall:.3}s (committed {committed_wall:.3}s, drift gated by the width-1 job)"
+            "perf check: fingerprints match ({committed_sem_fp} / {chaos_fp}) at parallelism {parallelism} shards {shards}, wall {best_wall:.3}s (committed {committed_wall:.3}s, drift gated by the width-1 job)"
         );
     }
 }
@@ -614,21 +753,27 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(|v| v.parse().expect("--parallelism takes a positive integer"))
         .unwrap_or(1);
+    let shards: usize = args
+        .iter()
+        .position(|a| a == "--shards")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--shards takes a positive integer"))
+        .unwrap_or(1);
     let seed: u64 = args
         .iter()
         .enumerate()
         .filter(|(i, _)| {
-            // Skip the --parallelism value; any other bare integer is
-            // the seed.
+            // Skip the --parallelism/--shards values; any other bare
+            // integer is the seed.
             args
                 .get(i.wrapping_sub(1))
-                .is_none_or(|prev| prev != "--parallelism")
+                .is_none_or(|prev| prev != "--parallelism" && prev != "--shards")
         })
         .find_map(|(_, a)| a.parse().ok())
         .unwrap_or(2016);
 
     if check_mode {
-        check(seed, parallelism);
+        check(seed, parallelism, shards);
         return;
     }
 
@@ -703,6 +848,27 @@ fn main() {
     println!("    replica fan-out speedup   {fanout_speedup:.2}x at parallelism 4");
     assert_fanout_floor(fanout_speedup, cpus);
 
+    // Sharded commit lanes (DESIGN.md §16): the conflict-free drain at
+    // 1 vs 4 lock shards, plus the semester fingerprint gate at 4.
+    let lane_single = lane_drain(1, seed);
+    let lane_sharded = lane_drain(4, seed);
+    assert_eq!(
+        lane_single.result, lane_sharded.result,
+        "lane-drain outcome digests diverged between shards 1 and 4"
+    );
+    let lane_speedup = lane_single.wall / lane_sharded.wall;
+    println!(
+        "  commit lanes ({LANE_JOBS} jobs, {LANE_WORKERS} workers): {:.3}s -> {:.3}s ({lane_speedup:.2}x at shards 4)",
+        lane_single.wall, lane_sharded.wall
+    );
+    assert_lane_floor(lane_speedup, cpus);
+    let sharded_semester = run_semester(&config.clone().with_shards(4));
+    assert_eq!(
+        sharded_semester.fingerprint(),
+        semester.result.fingerprint(),
+        "semester fingerprint diverged at shards 4"
+    );
+
     // The observational-purity gate: the planner, broker, chunker, and
     // store optimisations must not change a single observable byte.
     assert_eq!(
@@ -731,6 +897,8 @@ fn main() {
         fanout_msgs_s,
         scaling,
         host_cpus: cpus,
+        lane_wall_at_1: lane_single.wall,
+        lane_wall_at_4: lane_sharded.wall,
     };
     std::fs::write("BENCH_perf.json", render(&report)).expect("write BENCH_perf.json");
     println!(

@@ -131,10 +131,38 @@ impl BrokerInner {
     }
 
     /// Note that `topic` just had a message claimed: it must be visited
-    /// by the next `reclaim_expired` pass.
+    /// by the next `reclaim_expired` pass. The flag swap happens under
+    /// the list lock so a concurrent [`BrokerInner::clean_if_quiescent`]
+    /// can never observe the flag set without the list entry (or vice
+    /// versa).
     fn mark_dirty(&self, topic: &Arc<TopicState>) {
+        let mut dirty = self.dirty.lock();
         if !topic.dirty.swap(true, Ordering::AcqRel) {
-            self.dirty.lock().push(topic.clone());
+            dirty.push(topic.clone());
+        }
+    }
+
+    /// Drop `topic` from the dirty list if it no longer holds any
+    /// in-flight claim — the one-pass cleanup a fully-acked batch runs
+    /// so `reclaim_expired` doesn't visit a topic that settled between
+    /// passes. Safe against a racing claim: the claim increments its
+    /// channel's in-flight count *before* calling `mark_dirty`, so
+    /// either this check sees the claim (topic stays dirty) or the
+    /// claim's `mark_dirty` runs after the flag clears here and
+    /// re-registers the topic.
+    fn clean_if_quiescent(&self, topic: &Arc<TopicState>) {
+        let mut dirty = self.dirty.lock();
+        if !topic.dirty.load(Ordering::Acquire) {
+            return;
+        }
+        let quiescent = topic
+            .channels
+            .lock()
+            .values()
+            .all(|ch| ch.in_flight_count() == 0);
+        if quiescent {
+            topic.dirty.store(false, Ordering::Release);
+            dirty.retain(|t| !Arc::ptr_eq(t, topic));
         }
     }
 
@@ -554,11 +582,20 @@ impl Subscription {
     }
 
     /// Acknowledge a batch of in-flight messages. Returns how many were
-    /// actually in flight for this subscription.
+    /// actually in flight for this subscription. When the batch settles
+    /// the topic's last claim, the topic also leaves the broker's dirty
+    /// list in the same call — one pass, instead of parking it until
+    /// the next `reclaim_expired` scan discovers there is nothing to
+    /// reclaim.
     pub fn ack_batch(&self, ids: &[MessageId]) -> usize {
-        ids.iter()
+        let n = ids
+            .iter()
             .filter(|id| self.channel.ack(self.subscriber_id, **id))
-            .count()
+            .count();
+        if n > 0 {
+            self.broker.clean_if_quiescent(&self.topic);
+        }
+        n
     }
 
     /// Decline an in-flight message, returning it to the queue for
@@ -935,6 +972,30 @@ mod tests {
         assert_eq!(again.attempts, 2);
         work.ack(again.id);
         drop(subs);
+    }
+
+    #[test]
+    fn ack_batch_cleans_dirty_mark_in_one_pass() {
+        let b = Broker::default();
+        let work = b.subscribe("rai", "tasks");
+        for i in 0..6 {
+            b.publish("rai", format!("job-{i}")).unwrap();
+        }
+        let batch = work.try_recv_batch(6);
+        assert_eq!(batch.len(), 6);
+        assert_eq!(b.dirty_topics(), 1, "batch claim dirties the topic");
+        // A partial ack leaves claims in flight: the topic must stay
+        // queued for the reclaim pass.
+        let (head, tail) = batch.split_at(2);
+        assert_eq!(work.ack_batch(&head.iter().map(|m| m.id).collect::<Vec<_>>()), 2);
+        assert_eq!(b.dirty_topics(), 1, "partial batch keeps the dirty mark");
+        // Settling the batch clears the mark immediately — no
+        // reclaim_expired pass needed to discover the topic is idle.
+        assert_eq!(work.ack_batch(&tail.iter().map(|m| m.id).collect::<Vec<_>>()), 4);
+        assert_eq!(b.dirty_topics(), 0, "fully-acked batch self-cleans");
+        // And an empty/no-op batch on a clean topic stays a no-op.
+        assert_eq!(work.ack_batch(&[head[0].id]), 0);
+        assert_eq!(b.dirty_topics(), 0);
     }
 
     #[test]

@@ -49,6 +49,15 @@ impl PreparedUpload {
     pub fn bytes_logical(&self) -> u64 {
         self.manifest.total_len
     }
+
+    /// The chunk digests this upload references, in manifest order.
+    /// Lane schedulers compare these across a batch: two uploads
+    /// sharing a digest would race their dedup outcome (who admits,
+    /// who hits — and therefore who pays wire bytes), so overlapping
+    /// batches fall back to serial commit order.
+    pub fn chunk_digests(&self) -> impl Iterator<Item = u64> + '_ {
+        self.manifest.chunks.iter().map(|r| r.digest)
+    }
 }
 
 /// What a delta upload actually cost.

@@ -9,7 +9,7 @@ use crate::client::{
 use crate::interactive::{InteractiveSession, SessionBroker, SessionConfig, SessionError};
 use crate::ranking::RankingBoard;
 use crate::ratelimit::{RateDecision, RateLimiter};
-use crate::worker::{JobOutcome, StepEvent, Worker, WorkerConfig};
+use crate::worker::{ExecutedJob, JobOutcome, StepEvent, Worker, WorkerConfig};
 use parking_lot::RwLock;
 use rai_auth::{Credentials, CredentialRegistry, KeyGenerator};
 use rai_broker::{Broker, BrokerConfig, BrokerStats};
@@ -69,6 +69,16 @@ pub struct SystemConfig {
     /// [`RaiSystem::recover_with_clock`], which supply the log
     /// backends (DESIGN.md §14).
     pub durability: DurabilityConfig,
+    /// Lock-domain shard count (DESIGN.md §16). Partitions the store's
+    /// chunk arena by digest prefix (with one WAL lane per shard under
+    /// durability), the database's collections by primary-key hash,
+    /// and — fault-free only — [`RaiSystem::drive_until`]'s commit
+    /// phase into `shards` lanes keyed by `job_id % shards`. Shard
+    /// assignment is a pure function of digest/key/job id, so results
+    /// and fingerprints are byte-identical at every setting; only
+    /// contention (and therefore wall-clock) changes. `1` — the
+    /// default — is the preserved single-lock reference configuration.
+    pub shards: usize,
 }
 
 impl Default for SystemConfig {
@@ -85,6 +95,7 @@ impl Default for SystemConfig {
             db_hot_indexes: true,
             parallelism: 1,
             durability: DurabilityConfig::default(),
+            shards: 1,
         }
     }
 }
@@ -129,6 +140,9 @@ pub struct RaiSystem {
     telemetry: Telemetry,
     injector: Option<FaultInjector>,
     executor: Executor,
+    /// Commit-lane count (`config.shards`); lanes are keyed by
+    /// `job_id % lanes` (DESIGN.md §16).
+    lanes: usize,
 }
 
 /// In-flight timeout used when a stalled worker holds a claim: the
@@ -145,7 +159,7 @@ impl RaiSystem {
     /// Stand up a deployment on an existing clock (for discrete-event
     /// drivers).
     pub fn with_clock(config: SystemConfig, clock: VirtualClock) -> Self {
-        let store = ObjectStore::new(clock.clone());
+        let store = ObjectStore::with_shards(clock.clone(), config.shards.max(1));
         let db = Database::new();
         Self::finish_deploy(config, clock, db, store, None)
     }
@@ -160,12 +174,18 @@ impl RaiSystem {
         db_log: Arc<dyn LogBackend>,
         store_log: Arc<dyn LogBackend>,
     ) -> Self {
-        let store = ObjectStore::new(clock.clone());
+        let shards = config.shards.max(1);
+        let store = ObjectStore::with_shards(clock.clone(), shards);
         let db = Database::new();
         // Attach before the first mutation so the logs cover the whole
-        // history — bucket creation and index builds included.
+        // history — bucket creation and index builds included. At
+        // `shards > 1` the store's backend is striped into a main
+        // object log plus one chunk lane per arena shard; at 1 it
+        // carries the legacy single log byte-for-byte.
         db.attach_wal(Wal::open(db_log, config.durability));
-        store.attach_wal(Wal::open(store_log, config.durability));
+        let (main, chunk_wals) =
+            ObjectStore::open_store_logs(store_log, config.durability, shards);
+        store.attach_logs(main, chunk_wals);
         Self::finish_deploy(config, clock, db, store, None)
     }
 
@@ -192,9 +212,13 @@ impl RaiSystem {
         store_log: Arc<dyn LogBackend>,
         injector: Option<FaultInjector>,
     ) -> (Self, RecoveryReport) {
-        let (db, db_recovery) = Database::recover(Wal::open(db_log, config.durability));
+        let shards = config.shards.max(1);
+        let (db, db_recovery) =
+            Database::recover_sharded(Wal::open(db_log, config.durability), shards);
+        let (main, chunk_wals) =
+            ObjectStore::open_store_logs(store_log, config.durability, shards);
         let (store, store_recovery) =
-            ObjectStore::recover(clock.clone(), Wal::open(store_log, config.durability));
+            ObjectStore::recover_sharded(clock.clone(), main, chunk_wals);
         let system = Self::finish_deploy(config, clock, db, store, injector);
         // Job ids resume after the highest journaled intent so
         // post-recovery submissions never collide with replayed ones.
@@ -228,6 +252,10 @@ impl RaiSystem {
             },
             clock.clone(),
         );
+        // Hash-partition collections created from here on. A recovered
+        // database was already rebuilt at this count; re-stating it is
+        // idempotent and covers the fresh-deploy path.
+        db.set_shards(config.shards.max(1));
         // One pool for the whole deployment: client uploads, worker
         // uploads and server-side validation share it, mirroring how a
         // real host's cores are shared across the pipeline.
@@ -337,6 +365,15 @@ impl RaiSystem {
                 reg.counter(names::STORE_CHUNKS_DEDUP_TOTAL, &[]).store(u.chunks_dedup_total);
                 reg.counter(names::STORE_BYTES_WIRE_TOTAL, &[]).store(u.bytes_wire);
                 reg.counter(names::STORE_DELTA_PUTS_TOTAL, &[]).store(u.delta_puts);
+                // Lock-domain health (DESIGN.md §16): contended-wait
+                // total plus per-shard occupancy. Host facts — they
+                // vary with scheduling, never with the simulation.
+                reg.counter(names::LOCK_WAIT_MICROS_TOTAL, &[])
+                    .store(store2.lock_wait_micros());
+                for (i, n) in store2.shard_chunk_counts().into_iter().enumerate() {
+                    let shard = i.to_string();
+                    reg.gauge(names::STORE_SHARD_CHUNKS, &[("shard", &shard)]).set(n as f64);
+                }
             });
             let db2 = db.clone();
             telemetry.register_collector(move |reg| {
@@ -344,6 +381,10 @@ impl RaiSystem {
                 reg.counter(names::DB_INSERTS_TOTAL, &[]).store(t.inserts);
                 reg.counter(names::DB_QUERIES_TOTAL, &[]).store(t.queries);
                 reg.counter(names::DB_UPDATES_TOTAL, &[]).store(t.updates);
+                for (i, n) in db2.shard_doc_counts().into_iter().enumerate() {
+                    let shard = i.to_string();
+                    reg.gauge(names::DB_SHARD_DOCS, &[("shard", &shard)]).set(n as f64);
+                }
             });
             // Executor scheduling counters. These describe the *host*
             // machine's work-stealing behaviour, not the simulation, so
@@ -377,6 +418,36 @@ impl RaiSystem {
                     reg.gauge(names::WAL_LOG_BYTES, l).set(s.log_bytes as f64);
                 });
             }
+            // Sharded layouts add one journal lane per arena shard;
+            // report them aggregated under a single label so the
+            // exposition stays stable as `shards` varies.
+            let lanes = store.chunk_wals();
+            if !lanes.is_empty() {
+                telemetry.register_collector(move |reg| {
+                    let mut agg = rai_wal::WalStats::default();
+                    for w in &lanes {
+                        let s = w.stats();
+                        agg.appends += s.appends;
+                        agg.bytes += s.bytes;
+                        agg.fsync_batches += s.fsync_batches;
+                        agg.replayed += s.replayed;
+                        agg.corrupt_dropped += s.corrupt_dropped;
+                        agg.compactions += s.compactions;
+                        agg.segments += s.segments;
+                        agg.log_bytes += s.log_bytes;
+                    }
+                    let l = &[("log", "store-chunks")];
+                    reg.counter(names::WAL_APPENDS_TOTAL, l).store(agg.appends);
+                    reg.counter(names::WAL_BYTES_TOTAL, l).store(agg.bytes);
+                    reg.counter(names::WAL_FSYNC_BATCHES_TOTAL, l).store(agg.fsync_batches);
+                    reg.counter(names::WAL_REPLAYED_RECORDS_TOTAL, l).store(agg.replayed);
+                    reg.counter(names::WAL_CORRUPT_RECORDS_DROPPED_TOTAL, l)
+                        .store(agg.corrupt_dropped);
+                    reg.counter(names::WAL_COMPACTIONS_TOTAL, l).store(agg.compactions);
+                    reg.gauge(names::WAL_SEGMENTS, l).set(agg.segments as f64);
+                    reg.gauge(names::WAL_LOG_BYTES, l).set(agg.log_bytes as f64);
+                });
+            }
         }
         let rate_limiter = config
             .rate_limit
@@ -397,6 +468,7 @@ impl RaiSystem {
             telemetry,
             injector,
             executor,
+            lanes: config.shards.max(1),
         }
     }
 
@@ -591,9 +663,17 @@ impl RaiSystem {
     /// additionally wait out the in-flight timeout before the broker
     /// reclaims the held messages); either way the job messages survive
     /// to a later attempt. Returns all outcomes observed.
+    ///
+    /// When [`SystemConfig::shards`] > 1 and no fault injector is
+    /// attached, the commit phase itself runs across `shards` lanes
+    /// keyed by `job_id % lanes` (DESIGN.md §16): commits in different
+    /// lanes proceed concurrently, commits within a lane stay in claim
+    /// order. Fault-plan runs keep the single-lane reference schedule
+    /// because the injector's draw stream is ordering-visible.
     pub fn drive_until(&mut self, stop: impl Fn(&JobOutcome) -> bool) -> Vec<JobOutcome> {
         let mut outcomes = Vec::new();
         let executor = self.executor.clone();
+        let lanes = if self.injector.is_none() { self.lanes } else { 1 };
         loop {
             // Claim phase: serial, round-robin worker order.
             let claims: Vec<(usize, crate::worker::ClaimedJob)> = self
@@ -605,14 +685,26 @@ impl RaiSystem {
             if claims.is_empty() {
                 return outcomes;
             }
+            // Events come back in claim (rank) order on both paths, so
+            // the accounting below is path-independent.
+            let events: Vec<(usize, StepEvent)> = if lanes > 1 && claims.len() > 1 {
+                executor.note_batch(claims.len());
+                let executed: Vec<(usize, ExecutedJob)> =
+                    executor.par_map(claims, |(wi, claimed)| (wi, Worker::execute(claimed)));
+                self.commit_lanes(executed, lanes)
+            } else {
+                executor.run_jobs(
+                    claims,
+                    |(wi, claimed)| (wi, Worker::execute(claimed)),
+                    |(wi, executed)| (wi, self.workers[wi].commit(executed)),
+                )
+            };
             let mut advance = SimDuration::ZERO;
             let mut stalled = false;
             let mut crashed: Vec<usize> = Vec::new();
             let mut stop_hit = false;
-            executor.run_jobs(
-                claims,
-                |(wi, claimed)| (wi, Worker::execute(claimed)),
-                |(wi, executed)| match self.workers[wi].commit(executed) {
+            for (wi, event) in events {
+                match event {
                     StepEvent::Idle => unreachable!("commit always seals its claim"),
                     StepEvent::Done(outcome) => {
                         advance += outcome.service_time;
@@ -624,8 +716,8 @@ impl RaiSystem {
                         stalled |= report.kind == CrashKind::Stall;
                         crashed.push(wi);
                     }
-                },
-            );
+                }
+            }
             self.clock.advance(advance);
             if stalled {
                 // Frozen processes hold their claims until the broker's
@@ -640,6 +732,85 @@ impl RaiSystem {
                 return outcomes;
             }
         }
+    }
+
+    /// Commit one round's executed jobs across `lanes` independent
+    /// lanes keyed by `job_id % lanes` (DESIGN.md §16). Lanes commit
+    /// concurrently on the shared pool; within a lane commits stay in
+    /// claim order. Two conflicts force the whole round back onto the
+    /// serial claim-order path, because interleaving them would be
+    /// outcome-visible: two uploads sharing a chunk digest (the dedup
+    /// hit and wire bytes would depend on which lane lands first) and
+    /// two ranking writes for the same team (a last-writer-wins
+    /// upsert). Returns `(worker, event)` pairs in claim order
+    /// regardless of which path ran.
+    fn commit_lanes(
+        &mut self,
+        executed: Vec<(usize, ExecutedJob)>,
+        lanes: usize,
+    ) -> Vec<(usize, StepEvent)> {
+        let conflict = {
+            let mut digests = std::collections::HashSet::new();
+            let mut teams = std::collections::HashSet::new();
+            let mut hit = false;
+            for (_, e) in &executed {
+                for d in e.upload_digests() {
+                    hit |= !digests.insert(d);
+                }
+                if e.writes_ranking() {
+                    hit |= !teams.insert(e.team().to_string());
+                }
+            }
+            hit
+        };
+        if conflict || executed.len() <= 1 {
+            return executed
+                .into_iter()
+                .map(|(wi, e)| (wi, self.workers[wi].commit(e)))
+                .collect();
+        }
+        let mut buckets: Vec<Vec<(usize, usize, ExecutedJob)>> =
+            (0..lanes).map(|_| Vec::new()).collect();
+        for (rank, (wi, e)) in executed.into_iter().enumerate() {
+            let lane = (e.job_id() % lanes as u64) as usize;
+            buckets[lane].push((rank, wi, e));
+        }
+        // Each worker holds at most one claim per round, so handing
+        // each lane exclusive `&mut Worker`s is race-free.
+        let mut slots: Vec<Option<&mut Worker>> = self.workers.iter_mut().map(Some).collect();
+        let lane_work: Vec<Vec<(usize, usize, &mut Worker, ExecutedJob)>> = buckets
+            .into_iter()
+            .map(|bucket| {
+                bucket
+                    .into_iter()
+                    .map(|(rank, wi, e)| {
+                        let w = slots[wi].take().expect("one claim per worker per round");
+                        (rank, wi, w, e)
+                    })
+                    .collect()
+            })
+            .filter(|work: &Vec<_>| !work.is_empty())
+            .collect();
+        let results: Vec<parking_lot::Mutex<Vec<(usize, usize, StepEvent)>>> =
+            (0..lane_work.len()).map(|_| parking_lot::Mutex::new(Vec::new())).collect();
+        self.executor.scope(|s| {
+            for (li, work) in lane_work.into_iter().enumerate() {
+                let out = &results[li];
+                s.spawn(move || {
+                    let mut events = Vec::with_capacity(work.len());
+                    for (rank, wi, w, e) in work {
+                        events.push((rank, wi, w.commit(e)));
+                    }
+                    *out.lock() = events;
+                });
+            }
+        });
+        let mut all: Vec<(usize, usize, StepEvent)> = results
+            .into_iter()
+            .flat_map(|m| m.into_inner())
+            .collect();
+        all.sort_by_key(|(rank, _, _)| *rank);
+        all.into_iter().map(|(_, wi, ev)| (wi, ev)).collect()
     }
 
     /// Drain every queued job.
@@ -876,6 +1047,68 @@ mod tests {
         assert_eq!(outcomes.len(), 8);
         for p in pendings {
             assert!(p.wait(Duration::from_millis(500)).unwrap().success);
+        }
+    }
+
+    /// Outcome summaries, final standings, and dedup-visible byte
+    /// counters — everything a lane reordering could corrupt.
+    type LaneSnapshot = (Vec<(u64, bool, SimDuration)>, Vec<(String, f64)>, usize);
+
+    /// One full run-then-final scenario at a given lane/pool shape,
+    /// reduced to everything outcome-visible.
+    fn lane_scenario(shards: usize, parallelism: usize) -> LaneSnapshot {
+        let mut system = RaiSystem::new(SystemConfig {
+            workers: 4,
+            parallelism,
+            shards,
+            rate_limit: None,
+            ..Default::default()
+        });
+        let teams: Vec<Credentials> = (0..4)
+            .map(|i| system.register_team(&format!("team-{i}"), &[]))
+            .collect();
+        // Distinct payloads per job, so rounds have no shared chunk
+        // digests and the multi-lane commit path actually engages.
+        for (i, creds) in teams.iter().enumerate() {
+            let client = system.client_for(creds);
+            for j in 0..2 {
+                let n = (i * 2 + j) as f64;
+                let p = ProjectDir::cuda_project_with_perf(300.0 + n * 37.0, 0.9, 1024 + i as u64);
+                client.begin_submit(&p, SubmitMode::Run).unwrap();
+            }
+        }
+        let mut outcomes = system.drain();
+        for (i, creds) in teams.iter().enumerate() {
+            let client = system.client_for(creds);
+            let p = ProjectDir::cuda_project_with_perf(200.0 + i as f64 * 100.0, 0.95, 2048)
+                .with_final_artifacts();
+            client.begin_submit(&p, SubmitMode::Submit).unwrap();
+        }
+        outcomes.extend(system.drain());
+        let summary = outcomes
+            .into_iter()
+            .map(|o| (o.job_id, o.success, o.service_time))
+            .collect();
+        let usage = system.store().usage();
+        let dedup_visible =
+            (usage.bytes_wire + usage.chunks_dedup_total + usage.bytes_physical) as usize;
+        (summary, system.rankings().standings(), dedup_visible)
+    }
+
+    #[test]
+    fn commit_lanes_match_single_lane_reference() {
+        // The single-lock, width-1 configuration is the reference
+        // schedule; lanes and pool width must not change anything
+        // outcome-visible (DESIGN.md §16).
+        let reference = lane_scenario(1, 1);
+        for shards in [4, 16] {
+            for parallelism in [1, 8] {
+                assert_eq!(
+                    lane_scenario(shards, parallelism),
+                    reference,
+                    "shards={shards} parallelism={parallelism} diverged"
+                );
+            }
         }
     }
 

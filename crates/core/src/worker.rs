@@ -236,6 +236,32 @@ impl ExecutedJob {
     pub fn job_id(&self) -> u64 {
         self.request.job_id
     }
+
+    /// The submitting team.
+    pub fn team(&self) -> &str {
+        &self.request.team
+    }
+
+    /// Chunk digests the commit phase will try to upload (empty for
+    /// rejected or crashed jobs). Lane schedulers use these to detect
+    /// same-round dedup overlap — see
+    /// [`crate::delta::PreparedUpload::chunk_digests`].
+    pub fn upload_digests(&self) -> Vec<u64> {
+        match &self.outcome {
+            ExecOutcome::Built { prepared, .. } => prepared.chunk_digests().collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Whether the commit phase will write a leaderboard row. Two
+    /// ranking upserts for the same team are last-writer-wins, so a
+    /// lane scheduler must not let them race.
+    pub fn writes_ranking(&self) -> bool {
+        matches!(
+            &self.outcome,
+            ExecOutcome::Built { success: true, measured: Some(_), .. }
+        ) && self.request.kind == JobKind::Submit
+    }
 }
 
 /// How the execute phase resolved.
@@ -885,7 +911,11 @@ impl Worker {
     /// then ack the message (terminal) or report the crash (unacked).
     /// Batch schedulers must call this in claim order — it is the only
     /// phase that talks to broker/store/db, so commit order *is* the
-    /// fault-draw order.
+    /// fault-draw order. The one sanctioned exception is the sharded
+    /// commit-lane scheduler (DESIGN.md §16): with no fault injector
+    /// attached, commits whose jobs share no chunk digest and no
+    /// ranking team commute, so lanes keyed by `job_id % lanes` may
+    /// run concurrently while each lane preserves claim order.
     pub fn commit(&mut self, executed: ExecutedJob) -> StepEvent {
         let msg_id = executed.msg_id;
         let result = self.commit_job(executed);

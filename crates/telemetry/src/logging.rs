@@ -44,6 +44,11 @@ pub fn parse_level(value: &str) -> Option<Level> {
     }
 }
 
+// Deliberate `std::sync` holdout in a parking_lot codebase (DESIGN.md
+// §14 "Lock policy"): this is write-once init, not a contended lock.
+// `OnceLock` has no parking_lot equivalent, cannot poison (the closure
+// runs exactly once and a panic there aborts init, never wedging later
+// readers), and after init every read is a plain atomic load.
 static MAX_LEVEL: OnceLock<Option<Level>> = OnceLock::new();
 
 /// The active filter, resolved once from `RAI_LOG` (default `info`).

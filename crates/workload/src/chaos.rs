@@ -45,6 +45,11 @@ pub struct ChaosConfig {
     /// by the round structure, not the pool — so chaos fingerprints
     /// are byte-identical at every setting (DESIGN.md §15).
     pub parallelism: usize,
+    /// Lock-domain shard count (1 = single-lock reference). Fault-plan
+    /// runs always commit on the single-lane reference schedule, so
+    /// sharding only repartitions arena/collection locks — chaos
+    /// fingerprints stay byte-identical (DESIGN.md §16).
+    pub shards: usize,
 }
 
 impl ChaosConfig {
@@ -61,6 +66,7 @@ impl ChaosConfig {
             seed,
             plan: FaultPlan::chaos(seed),
             parallelism: 1,
+            shards: 1,
         }
     }
 
@@ -78,6 +84,7 @@ impl ChaosConfig {
             seed,
             plan,
             parallelism: 1,
+            shards: 1,
         }
     }
 
@@ -85,6 +92,13 @@ impl ChaosConfig {
     /// pool (1 = sequential reference).
     pub fn with_parallelism(mut self, n: usize) -> Self {
         self.parallelism = n;
+        self
+    }
+
+    /// The same scenario with `n` lock-domain shards (1 = single-lock
+    /// reference).
+    pub fn with_shards(mut self, n: usize) -> Self {
+        self.shards = n;
         self
     }
 }
@@ -322,6 +336,7 @@ pub fn run_chaos(config: &ChaosConfig) -> ChaosResult {
             broker_attempts: config.broker_attempts,
             fault_plan: Some(config.plan.clone()),
             parallelism: config.parallelism,
+            shards: config.shards,
             ..Default::default()
         },
         clock.clone(),

@@ -53,6 +53,12 @@ pub struct SemesterConfig {
     /// [`SemesterResult::fingerprint`] is byte-identical at every
     /// setting (DESIGN.md §15).
     pub parallelism: usize,
+    /// Lock-domain shard count for the store arena, database
+    /// collections, and commit lanes (1 = the preserved single-lock
+    /// reference). Shard assignment is a pure function of
+    /// digest/key/job id, so fingerprints are byte-identical at every
+    /// setting (DESIGN.md §16).
+    pub shards: usize,
 }
 
 /// Fleet provisioning policy for the semester (the elasticity
@@ -86,6 +92,7 @@ impl SemesterConfig {
             arrivals: CircadianModel::paper_calibrated(),
             db_hot_indexes: true,
             parallelism: 1,
+            shards: 1,
         }
     }
 
@@ -103,6 +110,7 @@ impl SemesterConfig {
             arrivals,
             db_hot_indexes: true,
             parallelism: 1,
+            shards: 1,
         }
     }
 
@@ -110,6 +118,13 @@ impl SemesterConfig {
     /// `n`-worker pool (1 = sequential reference).
     pub fn with_parallelism(mut self, n: usize) -> Self {
         self.parallelism = n;
+        self
+    }
+
+    /// The same semester with `n` lock-domain shards (1 = single-lock
+    /// reference).
+    pub fn with_shards(mut self, n: usize) -> Self {
+        self.shards = n;
         self
     }
 }
@@ -370,6 +385,7 @@ pub fn run_semester(config: &SemesterConfig) -> SemesterResult {
             seed: config.seed,
             db_hot_indexes: config.db_hot_indexes,
             parallelism: config.parallelism,
+            shards: config.shards,
             ..Default::default()
         },
         clock.clone(),

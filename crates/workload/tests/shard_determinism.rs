@@ -1,0 +1,125 @@
+//! Determinism across lock-domain shard counts (DESIGN.md §16): shard
+//! assignment is a pure function of chunk digest, primary key, and job
+//! id, and the sharded structures preserve the single-lock visit
+//! orders (k-way key-order merges in the db, claim-rank commit order
+//! in the lanes, per-digest refcounts in the arena). Semester, chaos,
+//! and restart-resume fingerprints must therefore be byte-identical at
+//! every shard count × pool width combination, with `shards = 1`
+//! exactly reproducing the pre-shard reference configuration.
+
+use proptest::prelude::*;
+use rai_wal::DurabilityConfig;
+use rai_workload::chaos::{run_chaos, ChaosConfig};
+use rai_workload::recovery::{run_recovery, KillPoint, RecoveryConfig};
+use rai_workload::semester::{run_semester, SemesterConfig};
+
+const SHARD_GRID: [usize; 2] = [4, 16];
+const WIDTH_GRID: [usize; 3] = [1, 2, 8];
+
+fn semester_fingerprint(seed: u64, shards: usize, parallelism: usize) -> u64 {
+    let cfg = SemesterConfig::scaled(4, 6, seed)
+        .with_shards(shards)
+        .with_parallelism(parallelism);
+    run_semester(&cfg).fingerprint()
+}
+
+fn chaos_fingerprint(seed: u64, shards: usize, parallelism: usize) -> u64 {
+    let result = run_chaos(
+        &ChaosConfig::quick(seed)
+            .with_shards(shards)
+            .with_parallelism(parallelism),
+    );
+    result.verify().expect("chaos invariants hold when sharded");
+    result.fingerprint
+}
+
+/// Restart-resume under the quick chaos plan, killed three commits
+/// into round 4, recovered from the per-shard journal lanes.
+fn recovery_fingerprint(seed: u64, shards: usize, parallelism: usize) -> u64 {
+    let cfg = RecoveryConfig {
+        chaos: ChaosConfig::quick(seed)
+            .with_shards(shards)
+            .with_parallelism(parallelism),
+        kill: Some(KillPoint::mid_drive(4, 3)),
+        disk_faults: None,
+        durability: DurabilityConfig::durable(),
+    };
+    let result = run_recovery(&cfg);
+    assert!(result.killed, "seed {seed}: the mid-round kill fired");
+    result.verify().expect("no-lost across a sharded restart");
+    result.fingerprint
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    /// Same seed, any shard count, any pool width, same semester bytes.
+    #[test]
+    fn semester_fingerprint_is_shard_invariant(seed in 0u64..1_000) {
+        let reference = semester_fingerprint(seed, 1, 1);
+        for shards in SHARD_GRID {
+            for width in WIDTH_GRID {
+                prop_assert_eq!(
+                    reference,
+                    semester_fingerprint(seed, shards, width),
+                    "seed {} diverged at shards {} width {}",
+                    seed, shards, width
+                );
+            }
+        }
+    }
+
+    /// Same seed, any shard count, same chaos bytes — fault-plan runs
+    /// keep the single-lane commit schedule, so sharding only
+    /// repartitions locks.
+    #[test]
+    fn chaos_fingerprint_is_shard_invariant(seed in 0u64..1_000) {
+        let reference = chaos_fingerprint(seed, 1, 1);
+        for shards in SHARD_GRID {
+            for width in WIDTH_GRID {
+                prop_assert_eq!(
+                    reference,
+                    chaos_fingerprint(seed, shards, width),
+                    "seed {} diverged at shards {} width {}",
+                    seed, shards, width
+                );
+            }
+        }
+    }
+
+    /// Same seed, any shard count, same bytes across a process kill:
+    /// replaying `shards` chunk-install lanes plus the main log
+    /// rebuilds the exact pre-kill refcounts and dedup counters.
+    #[test]
+    fn recovery_fingerprint_is_shard_invariant(seed in 0u64..1_000) {
+        let reference = recovery_fingerprint(seed, 1, 1);
+        for shards in SHARD_GRID {
+            for width in WIDTH_GRID {
+                prop_assert_eq!(
+                    reference,
+                    recovery_fingerprint(seed, shards, width),
+                    "seed {} diverged across restart at shards {} width {}",
+                    seed, shards, width
+                );
+            }
+        }
+    }
+}
+
+/// The committed perf-bench reference fingerprint (BENCH_perf.json,
+/// seed 2016, 12 teams × 21 days) is reproduced both by the preserved
+/// `shards = 1` configuration and by the sharded one — the drift gate
+/// does not fork on the knob.
+#[test]
+fn semester_reference_fingerprint_survives_sharding() {
+    let fp = |shards: usize| {
+        run_semester(&SemesterConfig::scaled(12, 21, 2016).with_shards(shards)).fingerprint()
+    };
+    let reference = fp(1);
+    assert_eq!(
+        format!("{reference:#018x}"),
+        "0xc9f1c2aa0b01e04a",
+        "shards=1 no longer reproduces the committed BENCH_perf.json fingerprint"
+    );
+    assert_eq!(reference, fp(4), "sharded run diverged from the committed reference");
+}

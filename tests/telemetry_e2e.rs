@@ -93,6 +93,68 @@ fn prometheus_exposition_parses_and_matches() {
 }
 
 #[test]
+fn shard_metrics_cover_every_lock_domain() {
+    let mut system = RaiSystem::new(SystemConfig {
+        workers: 2,
+        shards: 4,
+        rate_limit: None,
+        ..Default::default()
+    });
+    let creds = system.register_team("observed", &["ada"]);
+    for _ in 0..3 {
+        assert!(system
+            .submit(&creds, &ProjectDir::sample_cuda_project())
+            .expect("submission should succeed")
+            .success);
+    }
+    let metrics = system.report().metrics;
+    // The contended-wait counter exists (zero is fine on an idle or
+    // single-core host — it only counts waits that actually blocked).
+    assert!(metrics.counter(names::LOCK_WAIT_MICROS_TOTAL, &[]).is_some());
+    // One occupancy gauge per shard, and they account for every chunk
+    // and every document — nothing lives outside a lock domain.
+    let usage = system.store().usage();
+    let chunk_sum: f64 = (0..4)
+        .map(|i| {
+            metrics
+                .gauge(names::STORE_SHARD_CHUNKS, &[("shard", &i.to_string())])
+                .expect("store shard gauge exists")
+        })
+        .sum();
+    assert_eq!(chunk_sum as u64, usage.chunks);
+    assert!(chunk_sum > 0.0, "the workload stored chunks");
+    let doc_counts = system.db().shard_doc_counts();
+    assert_eq!(doc_counts.len(), 4);
+    for (i, expect) in doc_counts.iter().enumerate() {
+        let g = metrics
+            .gauge(names::DB_SHARD_DOCS, &[("shard", &i.to_string())])
+            .expect("db shard gauge exists");
+        assert_eq!(g as u64, *expect);
+    }
+    // All three names survive the Prometheus round trip.
+    let text = rai::telemetry::render_prometheus(&metrics);
+    let samples = parse_prometheus(&text).expect("exposition must parse");
+    for name in [
+        names::LOCK_WAIT_MICROS_TOTAL,
+        names::STORE_SHARD_CHUNKS,
+        names::DB_SHARD_DOCS,
+    ] {
+        assert!(
+            samples.iter().any(|s| s.name == name),
+            "{name} missing from exposition"
+        );
+    }
+    assert_eq!(
+        samples
+            .iter()
+            .filter(|s| s.name == names::STORE_SHARD_CHUNKS)
+            .count(),
+        4,
+        "one store occupancy series per shard"
+    );
+}
+
+#[test]
 fn json_exposition_round_trips() {
     let (system, _) = driven_system(2);
     let metrics = system.report().metrics;
