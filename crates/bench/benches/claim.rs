@@ -1,0 +1,187 @@
+//! Claim-pipeline micro-benchmarks (DESIGN.md §17): the cost of one
+//! multi-topic batch-claim round at 1 vs 8 claim lanes, and the
+//! digest-cache hit path probed through striped read locks (the
+//! `DigestCache` shape) vs a single exclusive mutex (the pre-§17
+//! shape). On a single-core host the lane numbers converge — the
+//! point of the batch-claim bench is the overhead ceiling of the
+//! fan-out machinery, which must stay small enough that `perf_report`
+//! can arm its `claim_speedup_at_4` floor on real multi-core hosts.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parking_lot::{Mutex, RwLock};
+use rai_core::client::ProjectDir;
+use rai_core::worker::PoppedTask;
+use rai_core::{DeltaUploader, RaiSystem, SubmitMode, SystemConfig};
+use rai_sim::VirtualClock;
+use rai_store::{LifecycleRule, ObjectStore};
+
+const CLAIM_WORKERS: usize = 8;
+
+/// A deployment with one queued job per worker, each on its own log
+/// topic (distinct job ids), ready for exactly one claim round.
+fn queued_system(claim_lanes: usize) -> RaiSystem {
+    let mut system = RaiSystem::new(SystemConfig {
+        workers: CLAIM_WORKERS,
+        parallelism: 4,
+        claim_lanes,
+        rate_limit: None,
+        ..Default::default()
+    });
+    for i in 0..CLAIM_WORKERS {
+        let creds = system.register_team(&format!("bench-{i:02}"), &[]);
+        let project =
+            ProjectDir::cuda_project_with_perf(250.0 + i as f64 * 9.7, 0.9, 512 + i as u64);
+        system
+            .client_for(&creds)
+            .begin_submit(&project, SubmitMode::Run)
+            .expect("queue claim job");
+    }
+    system
+}
+
+/// One claim round: the serial order-defining pop half over every
+/// worker, then the claim tails — serial at 1 lane, fanned across the
+/// `rai-exec` pool keyed by log-topic hash at 8.
+fn claim_round(system: &mut RaiSystem) -> usize {
+    let popped: Vec<(usize, PoppedTask)> = (0..CLAIM_WORKERS)
+        .filter_map(|wi| system.workers_mut()[wi].pop_task().map(|p| (wi, p)))
+        .collect();
+    let claims = system.claim_tasks(popped);
+    assert_eq!(claims.len(), CLAIM_WORKERS, "every queued job claimed");
+    claims.len()
+}
+
+fn bench_batch_claim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("claim/batch_claim");
+    g.sample_size(20);
+    for lanes in [1usize, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(lanes), &lanes, |b, &lanes| {
+            b.iter_with_setup(|| queued_system(lanes), |mut system| claim_round(&mut system));
+        });
+    }
+    g.finish();
+}
+
+/// Mirror of `DigestCache`'s stripe fan (delta.rs): FNV-mixed digest
+/// to one of 16 read-write-locked sets. Readers share the stripe.
+struct StripedSet {
+    stripes: Vec<RwLock<HashSet<u64>>>,
+}
+
+impl StripedSet {
+    fn new() -> Self {
+        StripedSet { stripes: (0..16).map(|_| RwLock::new(HashSet::new())).collect() }
+    }
+
+    fn stripe_of(&self, digest: u64) -> usize {
+        (digest.wrapping_mul(0x100000001b3) >> 32) as usize % self.stripes.len()
+    }
+
+    fn insert(&self, digest: u64) {
+        self.stripes[self.stripe_of(digest)].write().insert(digest);
+    }
+
+    fn contains(&self, digest: u64) -> bool {
+        self.stripes[self.stripe_of(digest)].read().contains(&digest)
+    }
+}
+
+const PROBE_THREADS: usize = 4;
+const PROBE_ROUNDS: usize = 64;
+
+fn probe_digests(len: usize) -> Vec<u64> {
+    let mut state = 0x9e3779b97f4a7c15u64;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        })
+        .collect()
+}
+
+fn bench_digest_cache_hit(c: &mut Criterion) {
+    let digests = probe_digests(256);
+    let mut g = c.benchmark_group("claim/digest_cache_hit");
+    g.sample_size(30);
+
+    // The §17 shape: concurrent hit probes share striped read locks.
+    g.bench_function("striped_rwlock", |b| {
+        let cache = StripedSet::new();
+        for &d in &digests {
+            cache.insert(d);
+        }
+        b.iter(|| {
+            let hits = AtomicU64::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..PROBE_THREADS {
+                    scope.spawn(|| {
+                        let mut local = 0u64;
+                        for _ in 0..PROBE_ROUNDS {
+                            for &d in &digests {
+                                local += u64::from(cache.contains(d));
+                            }
+                        }
+                        hits.fetch_add(local, Ordering::Relaxed);
+                    });
+                }
+            });
+            let total = hits.load(Ordering::Relaxed);
+            assert_eq!(total, (PROBE_THREADS * PROBE_ROUNDS * digests.len()) as u64);
+            total
+        });
+    });
+
+    // The pre-§17 shape: every probe serializes on one exclusive lock.
+    g.bench_function("single_mutex", |b| {
+        let cache = Mutex::new(digests.iter().copied().collect::<HashSet<u64>>());
+        b.iter(|| {
+            let hits = AtomicU64::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..PROBE_THREADS {
+                    scope.spawn(|| {
+                        let mut local = 0u64;
+                        for _ in 0..PROBE_ROUNDS {
+                            for &d in &digests {
+                                local += u64::from(cache.lock().contains(&d));
+                            }
+                        }
+                        hits.fetch_add(local, Ordering::Relaxed);
+                    });
+                }
+            });
+            let total = hits.load(Ordering::Relaxed);
+            assert_eq!(total, (PROBE_THREADS * PROBE_ROUNDS * digests.len()) as u64);
+            total
+        });
+    });
+
+    // End-to-end hit path through the real memoized uploader: a warmed
+    // `DeltaUploader` re-uploading identical content sends zero chunks,
+    // answering every probe from the generation-stamped cache.
+    g.bench_function("warm_upload_prepared", |b| {
+        let store = ObjectStore::new(VirtualClock::new());
+        store.create_bucket("b", LifecycleRule::Keep).expect("bucket");
+        let uploader = DeltaUploader::new();
+        let payload: Vec<u8> = probe_digests(4096).iter().flat_map(|d| d.to_le_bytes()).collect();
+        uploader.upload(&store, "b", "warm", &payload, []).expect("warm upload");
+        let mut key = 0u64;
+        b.iter(|| {
+            key += 1;
+            let receipt = uploader
+                .upload(&store, "b", &format!("k{key}"), &payload, [])
+                .expect("cached upload");
+            assert_eq!(receipt.chunks_sent, 0, "warm path re-uses every chunk");
+            receipt.chunks_total
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_batch_claim, bench_digest_cache_hit);
+criterion_main!(benches);

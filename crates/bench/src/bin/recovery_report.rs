@@ -8,8 +8,9 @@
 //!    killed mid-drive, recovered, resumed, at payload-pipeline widths
 //!    1 and 4 crossed with lock-domain shard counts 1 and 4 (sharded
 //!    runs journal chunk installs on per-shard WAL lanes and recover
-//!    from them, DESIGN.md §16), asserting every recovered fingerprint
-//!    equals the uninterrupted same-seed run's;
+//!    from them, DESIGN.md §16) crossed with claim-lane counts 1 and 4
+//!    (DESIGN.md §17), asserting every recovered fingerprint equals
+//!    the uninterrupted same-seed run's;
 //! 2. the **chaos restart audit** — the full quick fault plan with a
 //!    mid-drive kill: zero lost, zero duplicated, everything accounted
 //!    across the restart;
@@ -49,6 +50,12 @@ const WIDTHS: [usize; 2] = [1, 4];
 /// store journals chunk installs on four per-shard WAL lanes and the
 /// recovery replays all of them plus the main log (DESIGN.md §16).
 const SHARDS: [usize; 2] = [1, 4];
+
+/// Claim-lane counts crossed with the widths and shards — inert by
+/// the serial-fallback rule whenever a fault plan is attached, which
+/// the byte-identity gate proves across a kill/replay boundary
+/// (DESIGN.md §17).
+const CLAIM_LANES: [usize; 2] = [1, 4];
 
 /// The seeded kill point every scenario uses: mid-drive, a few worker
 /// steps into round 5 of the 12-round quick course.
@@ -105,15 +112,21 @@ fn run_seed(seed: u64) -> SeedReport {
     baseline.verify().expect("uninterrupted clean run audits");
     for width in WIDTHS {
         for shards in SHARDS {
-            let mut cfg = clean_cfg.clone();
-            cfg.chaos = cfg.chaos.with_parallelism(width).with_shards(shards);
-            let resumed = run_recovery(&cfg);
-            assert!(resumed.killed, "seed {seed}: kill point never fired");
-            resumed.verify().expect("recovered clean run audits");
-            assert_eq!(
-                resumed.fingerprint, baseline.fingerprint,
-                "seed {seed} width {width} shards {shards}: recovered run differs from uninterrupted run"
-            );
+            for lanes in CLAIM_LANES {
+                let mut cfg = clean_cfg.clone();
+                cfg.chaos = cfg
+                    .chaos
+                    .with_parallelism(width)
+                    .with_shards(shards)
+                    .with_claim_lanes(lanes);
+                let resumed = run_recovery(&cfg);
+                assert!(resumed.killed, "seed {seed}: kill point never fired");
+                resumed.verify().expect("recovered clean run audits");
+                assert_eq!(
+                    resumed.fingerprint, baseline.fingerprint,
+                    "seed {seed} width {width} shards {shards} claim_lanes {lanes}: recovered run differs from uninterrupted run"
+                );
+            }
         }
     }
 
@@ -132,7 +145,7 @@ fn run_seed(seed: u64) -> SeedReport {
     let report = chaos.recovery.expect("a recovery happened");
     assert_eq!(report.db.malformed_dropped, 0, "clean crash corrupts nothing");
     let chaos_sharded = run_recovery(&RecoveryConfig {
-        chaos: ChaosConfig::quick(seed).with_shards(4),
+        chaos: ChaosConfig::quick(seed).with_shards(4).with_claim_lanes(4),
         kill: Some(KILL),
         disk_faults: None,
         durability: DurabilityConfig::durable(),
@@ -239,7 +252,7 @@ fn render_json(seeds: &[SeedReport], host: &HostReport) -> String {
     };
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"rai-recovery-bench/2\",\n");
+    out.push_str("  \"schema\": \"rai-recovery-bench/3\",\n");
     out.push_str(&format!("  \"seeds\": [{}],\n", list(&|s| s.seed.to_string())));
     out.push_str(&format!(
         "  \"widths_checked\": [{}, {}],\n",
@@ -248,6 +261,10 @@ fn render_json(seeds: &[SeedReport], host: &HostReport) -> String {
     out.push_str(&format!(
         "  \"shards_checked\": [{}, {}],\n",
         SHARDS[0], SHARDS[1]
+    ));
+    out.push_str(&format!(
+        "  \"claim_lanes_checked\": [{}, {}],\n",
+        CLAIM_LANES[0], CLAIM_LANES[1]
     ));
     out.push_str("  \"clean_kill\": {\n");
     out.push_str(&format!(
@@ -326,8 +343,8 @@ fn strip_host(json: &str) -> String {
 fn print_seed(s: &SeedReport) {
     println!("  seed {}", s.seed);
     println!(
-        "    clean kill       fingerprint {:#018x} over {} accepted, identical at widths {:?} x shards {:?}",
-        s.clean_fingerprint, s.clean_accepted, WIDTHS, SHARDS
+        "    clean kill       fingerprint {:#018x} over {} accepted, identical at widths {:?} x shards {:?} x claim lanes {:?}",
+        s.clean_fingerprint, s.clean_accepted, WIDTHS, SHARDS, CLAIM_LANES
     );
     println!(
         "    chaos restart    {} accepted -> {} terminal + {} dead-lettered, {} republished",

@@ -13,8 +13,9 @@
 use rai_archive::chunk::{chunk_bytes, chunk_bytes_on, Chunk, ChunkManifest, ChunkerParams};
 use rai_exec::Executor;
 use rai_store::{ObjectStore, StoreError};
+use parking_lot::RwLock;
 use std::collections::{BTreeMap, HashSet};
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A payload already split into its chunk manifest, ready to commit.
 ///
@@ -84,6 +85,77 @@ impl DeltaReceipt {
     }
 }
 
+/// Stripe count of the concurrent digest cache. Digests scatter by
+/// their low bits; readers on distinct stripes never share a lock.
+const CACHE_STRIPES: usize = 16;
+
+/// The uploader's generation-stamped concurrent digest memo (the
+/// cs431 concurrent-memoization shape). Lookups take a per-stripe
+/// *read* lock — concurrent claim lanes probing the cache never block
+/// one another — and the only writers are the post-commit insert and
+/// the `MissingChunks` self-heal eviction.
+///
+/// The generation counter closes the lost-eviction race: an insert
+/// records the generation it *observed* before its store round trip,
+/// and is skipped if an eviction advanced the counter in between.
+/// Without the stamp, this interleaving re-poisons the cache —
+/// upload A observes digest `d` resident, the store garbage-collects
+/// `d`, upload B's failure evicts `d`, then A's late insert puts the
+/// now-stale `d` back. Skipping a racing insert merely costs one
+/// future `has_chunks` query; the cache is a hint either way.
+struct DigestCache {
+    stripes: Vec<RwLock<HashSet<u64>>>,
+    generation: AtomicU64,
+}
+
+impl DigestCache {
+    fn new() -> Self {
+        DigestCache {
+            stripes: (0..CACHE_STRIPES).map(|_| RwLock::new(HashSet::new())).collect(),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    fn stripe_of(&self, digest: u64) -> usize {
+        (digest as usize) % self.stripes.len()
+    }
+
+    /// Current eviction generation; pass the observed value back to
+    /// [`DigestCache::insert_if_current`].
+    fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Shared-lock lookup: never blocks other readers.
+    fn contains(&self, digest: u64) -> bool {
+        self.stripes[self.stripe_of(digest)].read().contains(&digest)
+    }
+
+    /// Insert `digests` only if no eviction intervened since
+    /// `observed_generation` was read (ABA guard; see type docs).
+    fn insert_if_current(&self, digests: impl Iterator<Item = u64>, observed_generation: u64) {
+        if self.generation.load(Ordering::Acquire) != observed_generation {
+            return;
+        }
+        for d in digests {
+            self.stripes[self.stripe_of(d)].write().insert(d);
+        }
+    }
+
+    /// Drop stale digests and advance the generation, invalidating any
+    /// insert still in flight against the old one.
+    fn evict(&self, digests: &[u64]) {
+        for d in digests {
+            self.stripes[self.stripe_of(*d)].write().remove(d);
+        }
+        self.generation.fetch_add(1, Ordering::Release);
+    }
+
+    fn len(&self) -> usize {
+        self.stripes.iter().map(|s| s.read().len()).sum()
+    }
+}
+
 /// A delta-capable uploader with a digest cache.
 ///
 /// The cache remembers digests the store has confirmed resident, so
@@ -91,10 +163,12 @@ impl DeltaReceipt {
 /// unchanged chunks. It is only a hint: if the store garbage-collected
 /// a cached chunk in the meantime, `put_delta` fails atomically with
 /// [`StoreError::MissingChunks`], the stale entries are dropped, and
-/// the upload retries with a fresh query.
+/// the upload retries with a fresh query. The cache is a
+/// generation-stamped concurrent memo (`DigestCache`), so concurrent
+/// claim lanes probe it on shared locks without serializing.
 pub struct DeltaUploader {
     params: ChunkerParams,
-    cache: Mutex<HashSet<u64>>,
+    cache: DigestCache,
     /// Executor the chunk/digest pass runs on. Sequential by default;
     /// a pool routes the re-hash of payload bytes across workers
     /// (DESIGN.md §12) without changing a single manifest byte.
@@ -117,14 +191,14 @@ impl DeltaUploader {
     pub fn with_executor(executor: Executor) -> Self {
         DeltaUploader {
             params: ChunkerParams::DEFAULT,
-            cache: Mutex::new(HashSet::new()),
+            cache: DigestCache::new(),
             executor,
         }
     }
 
     /// Digests currently cached as store-resident.
     pub fn cached(&self) -> usize {
-        self.cache.lock().len()
+        self.cache.len()
     }
 
     /// Chunk `payload` on this uploader's executor, ready for
@@ -168,16 +242,17 @@ impl DeltaUploader {
         let user_meta: Vec<(String, String)> = user_meta.into_iter().collect();
 
         // First pass trusts the cache; a second pass (after a
-        // MissingChunks rejection) bypasses it.
+        // MissingChunks rejection) bypasses it. The cache probe runs
+        // on shared stripe locks, and the post-commit insert carries
+        // the generation observed *before* the store round trip so a
+        // racing eviction wins (see [`DigestCache`]).
         for trust_cache in [true, false] {
-            let unknown: Vec<u64> = {
-                let cache = self.cache.lock();
-                by_digest
-                    .keys()
-                    .filter(|d| !(trust_cache && cache.contains(d)))
-                    .copied()
-                    .collect()
-            };
+            let observed_generation = self.cache.generation();
+            let unknown: Vec<u64> = by_digest
+                .keys()
+                .filter(|d| !(trust_cache && self.cache.contains(**d)))
+                .copied()
+                .collect();
             let resident = store.has_chunks(&unknown)?;
             let to_send: Vec<Chunk> = unknown
                 .iter()
@@ -187,8 +262,8 @@ impl DeltaUploader {
                 .collect();
             match store.put_delta(bucket, key, manifest, &to_send, user_meta.clone()) {
                 Ok(etag) => {
-                    let mut cache = self.cache.lock();
-                    cache.extend(by_digest.keys().copied());
+                    self.cache
+                        .insert_if_current(by_digest.keys().copied(), observed_generation);
                     return Ok(DeltaReceipt {
                         etag,
                         chunks_total: manifest.chunks.len(),
@@ -198,10 +273,7 @@ impl DeltaUploader {
                     });
                 }
                 Err(StoreError::MissingChunks { missing }) if trust_cache => {
-                    let mut cache = self.cache.lock();
-                    for d in missing {
-                        cache.remove(&d);
-                    }
+                    self.cache.evict(&missing);
                 }
                 Err(e) => return Err(e),
             }
@@ -326,6 +398,51 @@ mod tests {
             let r2 = up.upload(&s, "b", "v2", &edited, []).unwrap();
             assert_eq!((r1, r2), reference, "receipt drift at threads={threads}");
             assert_eq!(s.get("b", "v2").unwrap().data.as_ref(), &edited[..]);
+        }
+    }
+
+    #[test]
+    fn digest_cache_generation_guard_drops_racing_insert() {
+        let c = DigestCache::new();
+        let g = c.generation();
+        c.insert_if_current([1u64, 2, 3].into_iter(), g);
+        assert!(c.contains(1) && c.contains(2) && c.contains(3));
+        assert_eq!(c.len(), 3);
+        // An eviction invalidates any insert stamped with an older
+        // generation — the lost-eviction interleaving from the type
+        // docs must not re-poison the cache.
+        let stale = c.generation();
+        c.evict(&[2]);
+        c.insert_if_current([2u64, 9].into_iter(), stale);
+        assert!(!c.contains(2), "stale insert must not land after eviction");
+        assert!(!c.contains(9), "whole stale batch is dropped");
+        // A fresh observation inserts normally.
+        c.insert_if_current([9u64].into_iter(), c.generation());
+        assert!(c.contains(9));
+    }
+
+    #[test]
+    fn concurrent_cache_probes_share_read_locks() {
+        // Many threads probing one warmed uploader cache concurrently:
+        // all succeed with zero chunks sent, exercising the shared
+        // stripe-read path under real parallelism.
+        let s = store();
+        let up = std::sync::Arc::new(DeltaUploader::new());
+        let data = payload(32_000, 11);
+        up.upload(&s, "b", "base", &data, []).unwrap();
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let s = s.clone();
+                let up = std::sync::Arc::clone(&up);
+                let data = data.clone();
+                std::thread::spawn(move || {
+                    up.upload(&s, "b", &format!("copy-{i}"), &data, []).unwrap()
+                })
+            })
+            .collect();
+        for h in handles {
+            let r = h.join().unwrap();
+            assert_eq!(r.chunks_sent, 0, "warm cache answers every probe");
         }
     }
 

@@ -79,6 +79,17 @@ pub struct SystemConfig {
     /// contention (and therefore wall-clock) changes. `1` — the
     /// default — is the preserved single-lock reference configuration.
     pub shards: usize,
+    /// Claim-lane count (DESIGN.md §17). Fault-free only,
+    /// [`RaiSystem::drive_until`]'s claim *tail* (auth, build-spec
+    /// parse, image resolve, payload fetch) fans out across
+    /// `claim_lanes` lanes keyed by a hash of the job's log topic; the
+    /// order-defining pop half stays serial and results are re-sorted
+    /// into pop order before execute, so outcomes and
+    /// `SemesterResult::fingerprint()` are byte-identical at every
+    /// setting. `1` — the default — is the preserved serial reference
+    /// claim schedule. Fault-plan runs always claim serially because
+    /// the injector's draw stream is ordering-visible.
+    pub claim_lanes: usize,
 }
 
 impl Default for SystemConfig {
@@ -96,6 +107,7 @@ impl Default for SystemConfig {
             parallelism: 1,
             durability: DurabilityConfig::default(),
             shards: 1,
+            claim_lanes: 1,
         }
     }
 }
@@ -143,11 +155,30 @@ pub struct RaiSystem {
     /// Commit-lane count (`config.shards`); lanes are keyed by
     /// `job_id % lanes` (DESIGN.md §16).
     lanes: usize,
+    /// Claim-lane count (`config.claim_lanes`); lanes are keyed by a
+    /// hash of the job's log topic (DESIGN.md §17).
+    claim_lanes: usize,
 }
 
 /// In-flight timeout used when a stalled worker holds a claim: the
 /// driver advances the clock past it and reclaims.
 const MESSAGE_TIMEOUT: SimDuration = SimDuration::from_mins(10);
+
+/// Claim-lane assignment: FNV-1a over the job's log topic, reduced
+/// modulo the lane count. Hashing the topic (rather than taking
+/// `job_id % lanes` as the commit side does) spreads the adjacent job
+/// ids a burst produces across lanes instead of striping them, and
+/// keys the lane by the same name the broker's per-topic state is
+/// partitioned on (DESIGN.md §17).
+fn claim_lane_of(job_id: u64, lanes: usize) -> usize {
+    let topic = crate::protocol::routes::log_topic(job_id);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in topic.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % lanes as u64) as usize
+}
 
 impl RaiSystem {
     /// Stand up a deployment.
@@ -329,6 +360,7 @@ impl RaiSystem {
         // Pull-style collectors: broker / store / db keep their own
         // counters; these mirror them into the registry at snapshot time.
         {
+            let broker2 = broker.clone();
             let broker = broker.clone();
             telemetry.register_collector(move |reg| {
                 let s = broker.stats();
@@ -365,11 +397,13 @@ impl RaiSystem {
                 reg.counter(names::STORE_CHUNKS_DEDUP_TOTAL, &[]).store(u.chunks_dedup_total);
                 reg.counter(names::STORE_BYTES_WIRE_TOTAL, &[]).store(u.bytes_wire);
                 reg.counter(names::STORE_DELTA_PUTS_TOTAL, &[]).store(u.delta_puts);
-                // Lock-domain health (DESIGN.md §16): contended-wait
-                // total plus per-shard occupancy. Host facts — they
-                // vary with scheduling, never with the simulation.
+                // Lock-domain health (DESIGN.md §16/§17): contended
+                // wait across the store's shard locks and the broker's
+                // dirty-list stripes, plus per-shard occupancy. Host
+                // facts — they vary with scheduling, never with the
+                // simulation.
                 reg.counter(names::LOCK_WAIT_MICROS_TOTAL, &[])
-                    .store(store2.lock_wait_micros());
+                    .store(store2.lock_wait_micros() + broker2.lock_wait_micros());
                 for (i, n) in store2.shard_chunk_counts().into_iter().enumerate() {
                     let shard = i.to_string();
                     reg.gauge(names::STORE_SHARD_CHUNKS, &[("shard", &shard)]).set(n as f64);
@@ -469,6 +503,7 @@ impl RaiSystem {
             injector,
             executor,
             lanes: config.shards.max(1),
+            claim_lanes: config.claim_lanes.max(1),
         }
     }
 
@@ -668,23 +703,37 @@ impl RaiSystem {
     /// attached, the commit phase itself runs across `shards` lanes
     /// keyed by `job_id % lanes` (DESIGN.md §16): commits in different
     /// lanes proceed concurrently, commits within a lane stay in claim
-    /// order. Fault-plan runs keep the single-lane reference schedule
-    /// because the injector's draw stream is ordering-visible.
+    /// order. Likewise, when [`SystemConfig::claim_lanes`] > 1 the
+    /// claim *tail* (auth, spec parse, image resolve, payload fetch)
+    /// fans out across claim lanes keyed by a hash of the job's log
+    /// topic, while the order-defining pop half stays serial and the
+    /// results are re-sorted into pop order (DESIGN.md §17).
+    /// Fault-plan runs keep the single-lane reference schedule on both
+    /// phases because the injector's draw stream is ordering-visible.
     pub fn drive_until(&mut self, stop: impl Fn(&JobOutcome) -> bool) -> Vec<JobOutcome> {
         let mut outcomes = Vec::new();
         let executor = self.executor.clone();
         let lanes = if self.injector.is_none() { self.lanes } else { 1 };
+        let claim_lanes = if self.injector.is_none() { self.claim_lanes } else { 1 };
         loop {
-            // Claim phase: serial, round-robin worker order.
-            let claims: Vec<(usize, crate::worker::ClaimedJob)> = self
+            // Pop phase: serial, round-robin worker order. Popping is
+            // the order-defining half of a claim (queue ordering,
+            // malformed acks, in-flight accounting), so it always runs
+            // on the event loop.
+            let popped: Vec<(usize, crate::worker::PoppedTask)> = self
                 .workers
                 .iter_mut()
                 .enumerate()
-                .filter_map(|(wi, w)| w.claim().map(|c| (wi, c)))
+                .filter_map(|(wi, w)| w.pop_task().map(|p| (wi, p)))
                 .collect();
-            if claims.is_empty() {
+            if popped.is_empty() {
                 return outcomes;
             }
+            // Claim tail: auth, spec parse, image resolve, payload
+            // fetch. Pure per-job against snapshot/read paths, so it
+            // may fan out across claim lanes (DESIGN.md §17); results
+            // come back re-sorted into pop order either way.
+            let claims = self.claim_lanes_run(popped, claim_lanes);
             // Events come back in claim (rank) order on both paths, so
             // the accounting below is path-independent.
             let events: Vec<(usize, StepEvent)> = if lanes > 1 && claims.len() > 1 {
@@ -811,6 +860,88 @@ impl RaiSystem {
             .collect();
         all.sort_by_key(|(rank, _, _)| *rank);
         all.into_iter().map(|(_, wi, ev)| (wi, ev)).collect()
+    }
+
+    /// Run one round's claim tails across `lanes` independent lanes
+    /// keyed by [`claim_lane_of`] — an FNV-1a hash of the job's log
+    /// topic, so lane assignment is a pure function of the job id
+    /// (DESIGN.md §17). Lanes claim concurrently on the shared pool;
+    /// within a lane claims stay in pop order, and the flattened
+    /// result is re-sorted into pop order before execute, so the
+    /// downstream schedule is identical to the serial path. Returns
+    /// `(worker, claim)` pairs in pop order regardless of which path
+    /// ran.
+    fn claim_lanes_run(
+        &mut self,
+        popped: Vec<(usize, crate::worker::PoppedTask)>,
+        lanes: usize,
+    ) -> Vec<(usize, crate::worker::ClaimedJob)> {
+        if lanes <= 1 || popped.len() <= 1 {
+            return popped
+                .into_iter()
+                .map(|(wi, p)| (wi, self.workers[wi].claim_popped(p)))
+                .collect();
+        }
+        let mut buckets: Vec<Vec<(usize, usize, crate::worker::PoppedTask)>> =
+            (0..lanes).map(|_| Vec::new()).collect();
+        for (rank, (wi, p)) in popped.into_iter().enumerate() {
+            let lane = claim_lane_of(p.job_id(), lanes);
+            buckets[lane].push((rank, wi, p));
+        }
+        // Each worker pops at most one task per round, so handing each
+        // lane exclusive `&mut Worker`s is race-free (the same slot
+        // discipline as [`RaiSystem::commit_lanes`]).
+        let mut slots: Vec<Option<&mut Worker>> = self.workers.iter_mut().map(Some).collect();
+        let lane_work: Vec<Vec<(usize, usize, &mut Worker, crate::worker::PoppedTask)>> = buckets
+            .into_iter()
+            .map(|bucket| {
+                bucket
+                    .into_iter()
+                    .map(|(rank, wi, p)| {
+                        let w = slots[wi].take().expect("one pop per worker per round");
+                        (rank, wi, w, p)
+                    })
+                    .collect()
+            })
+            .filter(|work: &Vec<_>| !work.is_empty())
+            .collect();
+        let results: Vec<parking_lot::Mutex<Vec<(usize, usize, crate::worker::ClaimedJob)>>> =
+            (0..lane_work.len()).map(|_| parking_lot::Mutex::new(Vec::new())).collect();
+        self.executor.scope(|s| {
+            for (li, work) in lane_work.into_iter().enumerate() {
+                let out = &results[li];
+                s.spawn(move || {
+                    let mut claims = Vec::with_capacity(work.len());
+                    for (rank, wi, w, p) in work {
+                        claims.push((rank, wi, w.claim_popped(p)));
+                    }
+                    *out.lock() = claims;
+                });
+            }
+        });
+        let mut all: Vec<(usize, usize, crate::worker::ClaimedJob)> = results
+            .into_iter()
+            .flat_map(|m| m.into_inner())
+            .collect();
+        all.sort_by_key(|(rank, _, _)| *rank);
+        all.into_iter().map(|(_, wi, c)| (wi, c)).collect()
+    }
+
+    /// Run externally popped tasks' claim tails across the configured
+    /// claim lanes, returning `(worker, claim)` pairs in pop order.
+    /// Drivers that pop on their own schedule — the semester's
+    /// dispatch loop claims in FIFO arrival order against a capacity
+    /// budget — use this to share [`RaiSystem::drive_until`]'s claim
+    /// pipeline (DESIGN.md §17). The same serial-fallback rule
+    /// applies: fault-plan runs claim serially because the injector's
+    /// draw stream is ordering-visible. Callers must pop at most one
+    /// task per worker per call.
+    pub fn claim_tasks(
+        &mut self,
+        popped: Vec<(usize, crate::worker::PoppedTask)>,
+    ) -> Vec<(usize, crate::worker::ClaimedJob)> {
+        let lanes = if self.injector.is_none() { self.claim_lanes } else { 1 };
+        self.claim_lanes_run(popped, lanes)
     }
 
     /// Drain every queued job.
@@ -1056,11 +1187,12 @@ mod tests {
 
     /// One full run-then-final scenario at a given lane/pool shape,
     /// reduced to everything outcome-visible.
-    fn lane_scenario(shards: usize, parallelism: usize) -> LaneSnapshot {
+    fn lane_scenario(shards: usize, parallelism: usize, claim_lanes: usize) -> LaneSnapshot {
         let mut system = RaiSystem::new(SystemConfig {
             workers: 4,
             parallelism,
             shards,
+            claim_lanes,
             rate_limit: None,
             ..Default::default()
         });
@@ -1100,15 +1232,38 @@ mod tests {
         // The single-lock, width-1 configuration is the reference
         // schedule; lanes and pool width must not change anything
         // outcome-visible (DESIGN.md §16).
-        let reference = lane_scenario(1, 1);
+        let reference = lane_scenario(1, 1, 1);
         for shards in [4, 16] {
             for parallelism in [1, 8] {
                 assert_eq!(
-                    lane_scenario(shards, parallelism),
+                    lane_scenario(shards, parallelism, 1),
                     reference,
                     "shards={shards} parallelism={parallelism} diverged"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn claim_lanes_match_serial_claim_reference() {
+        // The serial claim schedule (`claim_lanes == 1`) is the
+        // reference; fanning the claim tail across lanes — alone or
+        // combined with commit lanes and a wide pool — must not change
+        // anything outcome-visible (DESIGN.md §17).
+        let reference = lane_scenario(1, 1, 1);
+        for claim_lanes in [2, 4, 16] {
+            assert_eq!(
+                lane_scenario(1, 1, claim_lanes),
+                reference,
+                "claim_lanes={claim_lanes} diverged"
+            );
+        }
+        for (shards, parallelism, claim_lanes) in [(4, 8, 4), (16, 8, 16)] {
+            assert_eq!(
+                lane_scenario(shards, parallelism, claim_lanes),
+                reference,
+                "shards={shards} parallelism={parallelism} claim_lanes={claim_lanes} diverged"
+            );
         }
     }
 

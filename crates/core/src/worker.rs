@@ -30,7 +30,7 @@ use crate::delta::{DeltaUploader, PreparedUpload};
 use crate::protocol::{routes, JobKind, JobRequest, LogFrame};
 use crate::spec::BuildSpec;
 use rai_archive::{restore, write_container, FileTree};
-use rai_auth::CredentialRegistry;
+use rai_auth::{CredentialRegistry, CredentialSnapshot};
 use rai_broker::{Broker, MessageId, Subscription};
 use rai_db::{doc, Database, DbError, Value};
 use rai_faults::{CrashKind, CrashPoint, FaultInjector, RetryPolicy};
@@ -42,6 +42,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cell::Cell;
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Worker configuration ("these limits can be changed using the RAI
@@ -131,6 +132,30 @@ fn attempt_no(attempt: u64) -> u32 {
     u32::try_from(attempt.max(1)).unwrap_or(u32::MAX)
 }
 
+/// A task message popped from the broker but not yet claimed: the
+/// output of the serial, order-defining half of the claim phase
+/// (DESIGN.md §17).
+///
+/// The pop half — `try_recv_batch`, message decode, malformed-ack,
+/// in-flight accounting — is what fixes the round's job composition
+/// and claim order, so it always runs serially in worker order. The
+/// rest of the claim (auth, spec parse, image pull, project fetch) is
+/// per-worker work against thread-safe services, which is what lets
+/// [`Worker::claim_popped`] run on concurrent claim lanes.
+pub struct PoppedTask {
+    msg_id: MessageId,
+    request: JobRequest,
+    attempt: u64,
+    co_scheduled: usize,
+}
+
+impl PoppedTask {
+    /// Id of the popped job (claim lanes key on its log topic).
+    pub fn job_id(&self) -> u64 {
+        self.request.job_id
+    }
+}
+
 /// A job claimed from the broker with its claim-phase work done.
 ///
 /// The claim phase (DESIGN.md §15) runs everything that touches shared
@@ -141,6 +166,13 @@ fn attempt_no(attempt: u64) -> u32 {
 /// (project tree, image, limits, dilation, pre-drawn crash decisions),
 /// which is why [`Worker::execute`] can take it by value onto a pool
 /// task without touching the worker at all.
+///
+/// The one sanctioned relaxation is the claim-lane scheduler
+/// (DESIGN.md §17): the *pop* half stays serial, while the claim tail
+/// ([`Worker::claim_popped`]) may run on concurrent lanes when no
+/// fault injector is attached, because each lane owns its workers
+/// exclusively and every shared service it touches is thread-safe and
+/// order-insensitive there.
 pub struct ClaimedJob {
     /// Broker message backing this claim (`None` when driven directly
     /// via [`Worker::run_job`], which manages queueing itself).
@@ -300,6 +332,13 @@ pub struct Worker {
     /// across jobs, so near-identical build trees (the overwhelmingly
     /// common case for resubmissions) upload almost nothing.
     delta: DeltaUploader,
+    /// Read-only credential snapshot for claim-phase auth. Steady
+    /// state, authentication costs one atomic generation load and zero
+    /// registry locks; the snapshot rebuilds (one registry read lock)
+    /// only after a register/revoke bumps the generation.
+    auth_snapshot: Option<CredentialSnapshot>,
+    /// The registry's mutation counter, shared without a lock.
+    auth_generation: Arc<AtomicU64>,
 }
 
 impl Worker {
@@ -314,6 +353,7 @@ impl Worker {
     ) -> Self {
         let subscription = broker.subscribe(routes::TASK_TOPIC, routes::TASK_CHANNEL);
         let rng = StdRng::seed_from_u64(config.noise_seed);
+        let auth_generation = registry.read().generation_handle();
         Worker {
             config,
             broker,
@@ -328,6 +368,8 @@ impl Worker {
             telemetry: None,
             injector: None,
             delta: DeltaUploader::new(),
+            auth_snapshot: None,
+            auth_generation,
         }
     }
 
@@ -413,7 +455,68 @@ impl Worker {
     /// in-flight limit. The claim counts against `active_jobs` until
     /// [`Worker::commit`] (or [`Worker::crash_recover`]) releases it.
     pub fn claim(&mut self) -> Option<ClaimedJob> {
-        self.claim_batch(1).pop()
+        self.pop_task().map(|p| self.claim_popped(p))
+    }
+
+    /// The serial half of [`Worker::claim`]: pop one task message and
+    /// run its order-defining bookkeeping (decode, malformed-ack,
+    /// redelivery counting, in-flight accounting) without touching
+    /// auth, images, or the store. Returns `None` when the queue is
+    /// empty or this worker is at its in-flight limit.
+    ///
+    /// Claim-lane drivers (DESIGN.md §17) pop every worker serially —
+    /// fixing the round's composition and claim order — then fan the
+    /// popped tasks across lanes for [`Worker::claim_popped`].
+    pub fn pop_task(&mut self) -> Option<PoppedTask> {
+        loop {
+            if self.active_jobs >= self.config.max_in_flight {
+                return None;
+            }
+            let msg = self.subscription.try_recv_batch(1).pop()?;
+            let Some(request) = JobRequest::decode(&msg.body_str()) else {
+                if let Some(t) = &self.telemetry {
+                    t.counter(names::JOBS_MALFORMED_TOTAL, &[]).inc();
+                }
+                rai_telemetry::log!(
+                    warn,
+                    "worker {}: dropping malformed task message {} ({} bytes)",
+                    self.config.worker_id,
+                    msg.id,
+                    msg.body.len()
+                );
+                // Batch-ack so a settled topic leaves the broker's
+                // dirty list in the same call (one-pass cleanup).
+                self.subscription.ack_batch(&[msg.id]);
+                continue;
+            };
+            let attempt = u64::from(msg.attempts.max(1));
+            if attempt > 1 {
+                if let Some(t) = &self.telemetry {
+                    t.counter(names::REDELIVERIES_TOTAL, &[]).inc();
+                }
+            }
+            self.active_jobs += 1;
+            self.set_active_gauge();
+            let co_scheduled = self.active_jobs.saturating_sub(1);
+            return Some(PoppedTask {
+                msg_id: msg.id,
+                request,
+                attempt,
+                co_scheduled,
+            });
+        }
+    }
+
+    /// The claim tail for an already-popped task: auth, build-spec
+    /// parse, image resolve/pull, and the project fetch. Everything it
+    /// touches is either worker-exclusive state or a thread-safe
+    /// shared service, so lanes holding distinct `&mut Worker`s may
+    /// run it concurrently (DESIGN.md §17); results are identical to
+    /// the serial schedule because each claim's inputs are independent
+    /// of its neighbours'.
+    pub fn claim_popped(&mut self, popped: PoppedTask) -> ClaimedJob {
+        let PoppedTask { msg_id, request, attempt, co_scheduled } = popped;
+        self.claim_request(&request, attempt, co_scheduled, Some(msg_id))
     }
 
     /// Claim up to `max` task messages in one broker round trip
@@ -426,42 +529,10 @@ impl Worker {
     /// the paper saw on multi-job workers; the deterministic drivers
     /// keep `max_in_flight` at 1, so their claims always measure clean.
     pub fn claim_batch(&mut self, max: usize) -> Vec<ClaimedJob> {
-        let budget = max.min(self.config.max_in_flight.saturating_sub(self.active_jobs));
         let mut claims = Vec::new();
-        while claims.len() < budget {
-            let batch = self.subscription.try_recv_batch(budget - claims.len());
-            if batch.is_empty() {
-                break;
-            }
-            let mut malformed: Vec<MessageId> = Vec::new();
-            for msg in batch {
-                // ② Parse the message; drops move on to the next job.
-                let Some(request) = JobRequest::decode(&msg.body_str()) else {
-                    if let Some(t) = &self.telemetry {
-                        t.counter(names::JOBS_MALFORMED_TOTAL, &[]).inc();
-                    }
-                    rai_telemetry::log!(
-                        warn,
-                        "worker {}: dropping malformed task message {} ({} bytes)",
-                        self.config.worker_id,
-                        msg.id,
-                        msg.body.len()
-                    );
-                    malformed.push(msg.id);
-                    continue;
-                };
-                let attempt = u64::from(msg.attempts.max(1));
-                if attempt > 1 {
-                    if let Some(t) = &self.telemetry {
-                        t.counter(names::REDELIVERIES_TOTAL, &[]).inc();
-                    }
-                }
-                self.active_jobs += 1;
-                self.set_active_gauge();
-                let co = self.active_jobs.saturating_sub(1);
-                claims.push(self.claim_request(&request, attempt, co, Some(msg.id)));
-            }
-            self.subscription.ack_batch(&malformed);
+        while claims.len() < max {
+            let Some(popped) = self.pop_task() else { break };
+            claims.push(self.claim_popped(popped));
         }
         claims
     }
@@ -682,12 +753,29 @@ impl Worker {
             };
         }
 
-        // ② Check the credentials.
-        let auth = self.registry.read().authenticate(
-            &request.access_key,
-            &request.signing_payload(),
-            &request.signature,
-        ).map(str::to_string);
+        // ② Check the credentials — against the worker's read-only
+        // snapshot, not the registry lock. One atomic load detects
+        // staleness; the snapshot rebuilds only after a register or
+        // revoke, so steady-state claims (and every concurrent claim
+        // lane) authenticate without contending on the registry at
+        // all. `CredentialSnapshot::authenticate` has exactly the
+        // registry's semantics, so outcomes are byte-identical.
+        let current_generation = self.auth_generation.load(Ordering::Acquire);
+        if self.auth_snapshot.as_ref().map(CredentialSnapshot::generation)
+            != Some(current_generation)
+        {
+            self.auth_snapshot = Some(self.registry.read().snapshot());
+        }
+        let auth = self
+            .auth_snapshot
+            .as_ref()
+            .expect("snapshot just refreshed")
+            .authenticate(
+                &request.access_key,
+                &request.signing_payload(),
+                &request.signature,
+            )
+            .map(str::to_string);
         let user = match auth {
             Ok(u) => u,
             Err(e) => {

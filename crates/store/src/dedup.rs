@@ -198,19 +198,26 @@ impl ChunkStore {
 /// every replay (DESIGN.md §16). Gear digests diffuse content into the
 /// top byte, so shards load-balance without coordination.
 ///
-/// Each shard is a [`ChunkStore`] behind its own mutex; admissions
-/// touching disjoint shards proceed concurrently. All cross-shard
-/// accounting is the sum over shards — shards partition the digest
-/// space, so sums are exact, not approximations.
+/// Each shard is a [`ChunkStore`] behind its own reader-writer lock;
+/// admissions touching disjoint shards proceed concurrently, and pure
+/// presence reads (`contains`, `totals`, occupancy gauges) share the
+/// read half without excluding each other. All cross-shard accounting
+/// is the sum over shards — shards partition the digest space, so sums
+/// are exact, not approximations.
 ///
 /// `N = 1` (the default) is the preserved single-lock reference
 /// configuration.
 pub(crate) struct ChunkArena {
-    shards: Vec<parking_lot::Mutex<ChunkStore>>,
+    shards: Vec<parking_lot::RwLock<ChunkStore>>,
     /// Cumulative microseconds spent waiting on contended shard locks.
     /// A host fact (like `ExecStats`): surfaced in reports and
     /// telemetry, never in fingerprints.
     lock_wait_micros: std::sync::atomic::AtomicU64,
+    /// Exclusive (write) guard acquisitions — lets tests assert that a
+    /// pure read path never took a writer lock.
+    write_acquisitions: std::sync::atomic::AtomicU64,
+    /// Shared (read) guard acquisitions.
+    read_acquisitions: std::sync::atomic::AtomicU64,
 }
 
 impl ChunkArena {
@@ -218,6 +225,8 @@ impl ChunkArena {
         ChunkArena {
             shards: (0..shards.max(1)).map(|_| Default::default()).collect(),
             lock_wait_micros: std::sync::atomic::AtomicU64::new(0),
+            write_acquisitions: std::sync::atomic::AtomicU64::new(0),
+            read_acquisitions: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -231,14 +240,36 @@ impl ChunkArena {
         ((digest >> 56) as usize) % self.shards.len()
     }
 
-    /// Lock one shard, charging contended waits to the lock-wait
-    /// counter. The uncontended fast path costs one `try_lock`.
-    pub fn lock(&self, shard: usize) -> parking_lot::MutexGuard<'_, ChunkStore> {
-        if let Some(g) = self.shards[shard].try_lock() {
+    /// Lock one shard exclusively (mutation path), charging contended
+    /// waits to the lock-wait counter. The uncontended fast path costs
+    /// one `try_write`.
+    pub fn lock(&self, shard: usize) -> parking_lot::RwLockWriteGuard<'_, ChunkStore> {
+        self.write_acquisitions
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if let Some(g) = self.shards[shard].try_write() {
             return g;
         }
         let start = std::time::Instant::now();
-        let g = self.shards[shard].lock();
+        let g = self.shards[shard].write();
+        self.lock_wait_micros.fetch_add(
+            start.elapsed().as_micros() as u64,
+            std::sync::atomic::Ordering::Relaxed,
+        );
+        g
+    }
+
+    /// Lock one shard shared (pure read path): presence checks and
+    /// accounting sums run here without excluding each other — only a
+    /// concurrent admission on the *same* shard blocks, and that wait
+    /// is charged to the lock-wait counter like any other.
+    pub fn read(&self, shard: usize) -> parking_lot::RwLockReadGuard<'_, ChunkStore> {
+        self.read_acquisitions
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if let Some(g) = self.shards[shard].try_read() {
+            return g;
+        }
+        let start = std::time::Instant::now();
+        let g = self.shards[shard].read();
         self.lock_wait_micros.fetch_add(
             start.elapsed().as_micros() as u64,
             std::sync::atomic::Ordering::Relaxed,
@@ -252,22 +283,23 @@ impl ChunkArena {
     pub fn lock_many(
         &self,
         mut shards: Vec<usize>,
-    ) -> Vec<(usize, parking_lot::MutexGuard<'_, ChunkStore>)> {
+    ) -> Vec<(usize, parking_lot::RwLockWriteGuard<'_, ChunkStore>)> {
         shards.sort_unstable();
         shards.dedup();
         shards.into_iter().map(|s| (s, self.lock(s))).collect()
     }
 
-    /// Whether a chunk is resident (momentary; no cross-shard lock).
+    /// Whether a chunk is resident (momentary; no cross-shard lock,
+    /// shared read guard only — never blocks other readers).
     pub fn contains(&self, digest: u64) -> bool {
-        self.lock(self.shard_of(digest)).contains(digest)
+        self.read(self.shard_of(digest)).contains(digest)
     }
 
     /// Aggregate `(chunks, physical_bytes, dedup_hits)` over shards.
     pub fn totals(&self) -> (u64, u64, u64) {
         let mut t = (0, 0, 0);
         for i in 0..self.shards.len() {
-            let g = self.lock(i);
+            let g = self.read(i);
             t.0 += g.count();
             t.1 += g.physical_bytes();
             t.2 += g.dedup_hits();
@@ -278,12 +310,23 @@ impl ChunkArena {
     /// Resident chunks per shard, by shard index — the occupancy gauge
     /// surfaced as `rai_store_shard_chunks`.
     pub fn shard_chunk_counts(&self) -> Vec<u64> {
-        (0..self.shards.len()).map(|i| self.lock(i).count()).collect()
+        (0..self.shards.len()).map(|i| self.read(i).count()).collect()
     }
 
     /// Cumulative contended lock-wait time, in microseconds.
     pub fn lock_wait_micros(&self) -> u64 {
         self.lock_wait_micros.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Cumulative exclusive-guard acquisitions (tests assert read
+    /// paths leave this untouched).
+    pub fn write_acquisitions(&self) -> u64 {
+        self.write_acquisitions.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Cumulative shared-guard acquisitions.
+    pub fn read_acquisitions(&self) -> u64 {
+        self.read_acquisitions.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     // ---- replay support (single-threaded recovery paths) -------------
@@ -292,7 +335,7 @@ impl ChunkArena {
     /// snapshot record carries the full physical payload).
     pub fn wipe(&self) {
         for s in &self.shards {
-            *s.lock() = ChunkStore::new();
+            *s.write() = ChunkStore::new();
         }
     }
 
@@ -300,7 +343,7 @@ impl ChunkArena {
     /// (sharded snapshot replay re-derives references from manifests).
     pub fn reset_refs(&self) {
         for s in &self.shards {
-            s.lock().reset_refs();
+            s.write().reset_refs();
         }
     }
 
@@ -310,14 +353,14 @@ impl ChunkArena {
     /// hits is not reconstructible, only the total is journaled.
     pub fn set_dedup_hits_total(&self, hits: u64) {
         for (i, s) in self.shards.iter().enumerate() {
-            s.lock().set_dedup_hits(if i == 0 { hits } else { 0 });
+            s.write().set_dedup_hits(if i == 0 { hits } else { 0 });
         }
     }
 
     /// Drop refcount-zero chunks in every shard (end of replay).
     pub fn prune_unreferenced(&self) {
         for s in &self.shards {
-            s.lock().prune_unreferenced();
+            s.write().prune_unreferenced();
         }
     }
 }

@@ -253,6 +253,20 @@ impl ObjectStore {
         self.inner.arena.lock_wait_micros()
     }
 
+    /// Exclusive (write) acquisitions of the arena's shard locks — a
+    /// host fact used to audit that pure presence reads stay off the
+    /// write path (DESIGN.md §17).
+    pub fn arena_write_acquisitions(&self) -> u64 {
+        self.inner.arena.write_acquisitions()
+    }
+
+    /// Shared (read) acquisitions of the arena's shard locks — the
+    /// counterpart audit counter to
+    /// [`ObjectStore::arena_write_acquisitions`].
+    pub fn arena_read_acquisitions(&self) -> u64 {
+        self.inner.arena.read_acquisitions()
+    }
+
     /// Route server-side chunking/digesting onto `exec`. Results are
     /// byte-identical at any parallelism; only wall-clock changes.
     pub fn set_executor(&self, exec: Executor) {
@@ -546,6 +560,11 @@ impl ObjectStore {
     /// input digest, in order. This is the discovery step of the
     /// delta-upload protocol; it is a metadata round trip and subject
     /// to the same transient faults as data reads.
+    ///
+    /// Pure presence checks answer from the shard *read* locks: many
+    /// concurrent `has_chunks` probes (and `put_delta` validations)
+    /// share each shard without excluding one another, and never stall
+    /// behind this call.
     pub fn has_chunks(&self, digests: &[u64]) -> Result<Vec<bool>, StoreError> {
         if self.take_fault() || self.injected_fault(rai_faults::FaultKind::StoreGet) {
             return Err(StoreError::Unavailable);
@@ -1974,6 +1993,31 @@ mod tests {
             shards,
         );
         ObjectStore::recover_sharded(clock, main, lanes)
+    }
+
+    #[test]
+    fn presence_reads_take_no_write_locks() {
+        let s = store_with_shards(4);
+        let payload = varied(5000, 7);
+        s.put("uploads", "team/proj.tar", payload.clone(), []).unwrap();
+        let (manifest, _) = chunk_bytes(&payload, ChunkerParams::DEFAULT);
+        let mut digests: Vec<u64> = manifest.chunks.iter().map(|r| r.digest).collect();
+        digests.push(0xdead_beef_dead_beef); // absent digest probes the same path
+        let writes_before = s.inner.arena.write_acquisitions();
+        let reads_before = s.inner.arena.read_acquisitions();
+        let flags = s.has_chunks(&digests).unwrap();
+        assert!(flags[..flags.len() - 1].iter().all(|&f| f));
+        assert!(!flags[flags.len() - 1]);
+        assert_eq!(
+            s.inner.arena.write_acquisitions(),
+            writes_before,
+            "presence checks must never take an exclusive shard lock"
+        );
+        assert_eq!(
+            s.inner.arena.read_acquisitions(),
+            reads_before + digests.len() as u64,
+            "each probe costs exactly one shared-guard acquisition"
+        );
     }
 
     #[test]

@@ -50,6 +50,13 @@ pub struct ChaosConfig {
     /// sharding only repartitions arena/collection locks — chaos
     /// fingerprints stay byte-identical (DESIGN.md §16).
     pub shards: usize,
+    /// Claim-lane count (1 = serial claim reference). A fault plan
+    /// pins the claim phase to the serial reference schedule — the
+    /// injector's draw stream is ordering-visible — so this knob is
+    /// structurally inert here and chaos fingerprints stay
+    /// byte-identical at every setting (DESIGN.md §17); the
+    /// determinism suite sweeps it to prove exactly that.
+    pub claim_lanes: usize,
 }
 
 impl ChaosConfig {
@@ -67,6 +74,7 @@ impl ChaosConfig {
             plan: FaultPlan::chaos(seed),
             parallelism: 1,
             shards: 1,
+            claim_lanes: 1,
         }
     }
 
@@ -85,6 +93,7 @@ impl ChaosConfig {
             plan,
             parallelism: 1,
             shards: 1,
+            claim_lanes: 1,
         }
     }
 
@@ -99,6 +108,14 @@ impl ChaosConfig {
     /// reference).
     pub fn with_shards(mut self, n: usize) -> Self {
         self.shards = n;
+        self
+    }
+
+    /// The same scenario with `n` claim lanes (1 = serial claim
+    /// reference; inert under a fault plan by the serial-fallback
+    /// rule).
+    pub fn with_claim_lanes(mut self, n: usize) -> Self {
+        self.claim_lanes = n;
         self
     }
 }
@@ -205,18 +222,23 @@ impl Driver {
     fn drive(&mut self) {
         loop {
             self.apply_due_deaths();
-            let mut claims = Vec::new();
+            // Pop serially in worker order, then route the claim tails
+            // through the shared claim pipeline. With a fault plan
+            // attached `claim_tasks` always takes the serial reference
+            // path, so fault draws stay in pop order (DESIGN.md §17).
+            let mut popped = Vec::new();
             for i in 0..self.alive.len() {
                 if !self.alive[i] {
                     continue;
                 }
-                if let Some(claimed) = self.system.workers_mut()[i].claim() {
-                    claims.push((i, claimed));
+                if let Some(task) = self.system.workers_mut()[i].pop_task() {
+                    popped.push((i, task));
                 }
             }
-            if claims.is_empty() {
+            if popped.is_empty() {
                 return;
             }
+            let claims = self.system.claim_tasks(popped);
             let executor = self.system.executor().clone();
             let mut advance = SimDuration::ZERO;
             let mut stalled = false;
@@ -337,6 +359,7 @@ pub fn run_chaos(config: &ChaosConfig) -> ChaosResult {
             fault_plan: Some(config.plan.clone()),
             parallelism: config.parallelism,
             shards: config.shards,
+            claim_lanes: config.claim_lanes,
             ..Default::default()
         },
         clock.clone(),

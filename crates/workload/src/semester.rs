@@ -59,6 +59,15 @@ pub struct SemesterConfig {
     /// digest/key/job id, so fingerprints are byte-identical at every
     /// setting (DESIGN.md §16).
     pub shards: usize,
+    /// Claim-lane count: `1` — the preserved serial reference — claims
+    /// every popped job inline on the event loop; `N > 1` fans the
+    /// claim tails (auth, spec parse, image resolve, payload fetch)
+    /// across `N` lanes keyed by a hash of the job's log topic, with
+    /// results re-sorted into pop order before execute. Popping stays
+    /// serial and order-defining, so
+    /// [`SemesterResult::fingerprint`] is byte-identical at every
+    /// setting (DESIGN.md §17).
+    pub claim_lanes: usize,
 }
 
 /// Fleet provisioning policy for the semester (the elasticity
@@ -93,6 +102,7 @@ impl SemesterConfig {
             db_hot_indexes: true,
             parallelism: 1,
             shards: 1,
+            claim_lanes: 1,
         }
     }
 
@@ -111,6 +121,7 @@ impl SemesterConfig {
             db_hot_indexes: true,
             parallelism: 1,
             shards: 1,
+            claim_lanes: 1,
         }
     }
 
@@ -125,6 +136,13 @@ impl SemesterConfig {
     /// reference).
     pub fn with_shards(mut self, n: usize) -> Self {
         self.shards = n;
+        self
+    }
+
+    /// The same semester with `n` claim lanes (1 = serial claim
+    /// reference).
+    pub fn with_claim_lanes(mut self, n: usize) -> Self {
+        self.claim_lanes = n;
         self
     }
 }
@@ -293,17 +311,23 @@ fn dispatch(state: &mut SemState, sched: &mut Sched<'_>) {
         if budget == 0 {
             return;
         }
-        let mut claims = Vec::with_capacity(budget);
+        // Pop serially — the order-defining half of a claim — then fan
+        // the claim tails across the configured claim lanes; results
+        // come back re-sorted into pop order (DESIGN.md §17). The
+        // round-robin assignment pops at most one task per worker per
+        // round (budget <= n_workers), as `claim_tasks` requires.
+        let mut popped = Vec::with_capacity(budget);
         for _ in 0..budget {
             let expect_id = state.waiting.pop_front().expect("bounded by len");
             let wi = state.next_worker % n_workers;
             state.next_worker = state.next_worker.wrapping_add(1);
-            let claimed = state.system.workers_mut()[wi]
-                .claim()
+            let task = state.system.workers_mut()[wi]
+                .pop_task()
                 .expect("broker held a queued job");
-            debug_assert_eq!(claimed.job_id(), expect_id);
-            claims.push((wi, claimed));
+            debug_assert_eq!(task.job_id(), expect_id);
+            popped.push((wi, task));
         }
+        let claims = state.system.claim_tasks(popped);
         // Execute the round on the job pool; commit serially in claim
         // order, so db rows, waits, and follow-up events land exactly
         // as the sequential reference does.
@@ -386,6 +410,7 @@ pub fn run_semester(config: &SemesterConfig) -> SemesterResult {
             db_hot_indexes: config.db_hot_indexes,
             parallelism: config.parallelism,
             shards: config.shards,
+            claim_lanes: config.claim_lanes,
             ..Default::default()
         },
         clock.clone(),

@@ -1,0 +1,139 @@
+//! Determinism across claim-lane counts (DESIGN.md §17): the pop half
+//! of a claim stays serial and order-defining, the claim tails fan out
+//! across lanes keyed by a hash of the job's log topic, and the
+//! results are re-sorted into pop order before execute — so semester,
+//! chaos, and restart-resume fingerprints must be byte-identical at
+//! every claim-lane count × pool width × shard count combination, with
+//! `claim_lanes = 1` exactly reproducing the serial reference claim
+//! schedule. Fault-plan runs (chaos, recovery) additionally pin the
+//! serial path structurally: the injector's draw stream is
+//! ordering-visible, so the lanes knob must be inert there.
+
+use proptest::prelude::*;
+use rai_wal::DurabilityConfig;
+use rai_workload::chaos::{run_chaos, ChaosConfig};
+use rai_workload::recovery::{run_recovery, KillPoint, RecoveryConfig};
+use rai_workload::semester::{run_semester, SemesterConfig};
+
+const LANE_GRID: [usize; 2] = [4, 16];
+const WIDTH_GRID: [usize; 3] = [1, 2, 8];
+const SHARD_GRID: [usize; 2] = [1, 4];
+
+fn semester_fingerprint(seed: u64, claim_lanes: usize, width: usize, shards: usize) -> u64 {
+    let cfg = SemesterConfig::scaled(4, 6, seed)
+        .with_claim_lanes(claim_lanes)
+        .with_parallelism(width)
+        .with_shards(shards);
+    run_semester(&cfg).fingerprint()
+}
+
+fn chaos_fingerprint(seed: u64, claim_lanes: usize, width: usize, shards: usize) -> u64 {
+    let result = run_chaos(
+        &ChaosConfig::quick(seed)
+            .with_claim_lanes(claim_lanes)
+            .with_parallelism(width)
+            .with_shards(shards),
+    );
+    result.verify().expect("chaos invariants hold across claim lanes");
+    result.fingerprint
+}
+
+/// Restart-resume under the quick chaos plan, killed three commits
+/// into round 4, recovered from the write-ahead logs.
+fn recovery_fingerprint(seed: u64, claim_lanes: usize, width: usize, shards: usize) -> u64 {
+    let cfg = RecoveryConfig {
+        chaos: ChaosConfig::quick(seed)
+            .with_claim_lanes(claim_lanes)
+            .with_parallelism(width)
+            .with_shards(shards),
+        kill: Some(KillPoint::mid_drive(4, 3)),
+        disk_faults: None,
+        durability: DurabilityConfig::durable(),
+    };
+    let result = run_recovery(&cfg);
+    assert!(result.killed, "seed {seed}: the mid-round kill fired");
+    result.verify().expect("no-lost across a restart with claim lanes");
+    result.fingerprint
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    /// Same seed, any claim-lane count, any pool width, any shard
+    /// count: same semester bytes.
+    #[test]
+    fn semester_fingerprint_is_claim_lane_invariant(seed in 0u64..1_000) {
+        let reference = semester_fingerprint(seed, 1, 1, 1);
+        for lanes in LANE_GRID {
+            for width in WIDTH_GRID {
+                for shards in SHARD_GRID {
+                    prop_assert_eq!(
+                        reference,
+                        semester_fingerprint(seed, lanes, width, shards),
+                        "seed {} diverged at claim_lanes {} width {} shards {}",
+                        seed, lanes, width, shards
+                    );
+                }
+            }
+        }
+    }
+
+    /// Same seed, any claim-lane count, same chaos bytes — fault-plan
+    /// runs keep the serial claim schedule by the serial-fallback
+    /// rule, so the knob must not move a single fault draw.
+    #[test]
+    fn chaos_fingerprint_is_claim_lane_invariant(seed in 0u64..1_000) {
+        let reference = chaos_fingerprint(seed, 1, 1, 1);
+        for lanes in LANE_GRID {
+            for width in WIDTH_GRID {
+                for shards in SHARD_GRID {
+                    prop_assert_eq!(
+                        reference,
+                        chaos_fingerprint(seed, lanes, width, shards),
+                        "seed {} diverged at claim_lanes {} width {} shards {}",
+                        seed, lanes, width, shards
+                    );
+                }
+            }
+        }
+    }
+
+    /// Same seed, any claim-lane count, same bytes across a process
+    /// kill: the pre-kill prefix, the replay, and the resumed run all
+    /// claim on the serial reference schedule under the fault plan.
+    #[test]
+    fn recovery_fingerprint_is_claim_lane_invariant(seed in 0u64..1_000) {
+        let reference = recovery_fingerprint(seed, 1, 1, 1);
+        for lanes in LANE_GRID {
+            for width in WIDTH_GRID {
+                for shards in SHARD_GRID {
+                    prop_assert_eq!(
+                        reference,
+                        recovery_fingerprint(seed, lanes, width, shards),
+                        "seed {} diverged across restart at claim_lanes {} width {} shards {}",
+                        seed, lanes, width, shards
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The committed perf-bench reference fingerprint (BENCH_perf.json,
+/// seed 2016, 12 teams × 21 days) is reproduced both by the preserved
+/// `claim_lanes = 1` serial reference and by the fanned-out claim
+/// pipeline — the drift gate does not fork on the knob.
+#[test]
+fn semester_reference_fingerprint_survives_claim_lanes() {
+    let fp = |lanes: usize| {
+        run_semester(&SemesterConfig::scaled(12, 21, 2016).with_claim_lanes(lanes)).fingerprint()
+    };
+    let reference = fp(1);
+    assert_eq!(
+        format!("{reference:#018x}"),
+        "0xc9f1c2aa0b01e04a",
+        "claim_lanes=1 no longer reproduces the committed BENCH_perf.json fingerprint"
+    );
+    assert_eq!(reference, fp(4), "lane-claimed run diverged from the committed reference");
+    assert_eq!(reference, fp(16), "lane-claimed run diverged from the committed reference");
+}
